@@ -1,0 +1,217 @@
+// Command goldrec runs the full golden-record pipeline on a CSV of
+// clustered records: standardize variant values column by column with
+// interactive (or auto-approved) group verification, then emit golden
+// records via majority-consensus truth discovery.
+//
+// The input CSV must have a header; the -key column identifies clusters
+// (the output of an upstream entity-resolution step). Unclustered CSVs
+// can be clustered on the fly with -resolve-key (exact key equality) or
+// -resolve-match (Jaccard similarity join).
+//
+//	goldrec -in clustered.csv -key isbn -col author_list -budget 50
+//	goldrec -in clustered.csv -key ein -col address -yes -golden golden.csv
+//	goldrec -in flat.csv -resolve-match title -col title
+//
+// Non-interactive review workflow: export the pending groups as JSON,
+// have the expert fill in each group's decision, then apply:
+//
+//	goldrec -in c.csv -key k -col v -export-review review.json
+//	goldrec -in c.csv -key k -col v -apply-review review.json -out fixed.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/table"
+)
+
+func main() {
+	var (
+		in           = flag.String("in", "", "input CSV path (required)")
+		keyCol       = flag.String("key", "", "clustering key column name (for pre-clustered input)")
+		srcCol       = flag.String("source", "", "optional source column name")
+		resolveKey   = flag.String("resolve-key", "", "cluster unclustered input by exact equality of this attribute")
+		resolveMatch = flag.String("resolve-match", "", "cluster unclustered input by similarity of this attribute")
+		threshold    = flag.Float64("threshold", 0.6, "similarity threshold for -resolve-match")
+		cols         = flag.String("col", "", "comma-separated attribute(s) to standardize (default: all)")
+		budget       = flag.Int("budget", 100, "maximum groups to review per column (0 = unlimited)")
+		yes          = flag.Bool("yes", false, "auto-approve every group forward (non-interactive demo mode)")
+		exportReview = flag.String("export-review", "", "write pending groups as a JSON review file and exit")
+		applyReview  = flag.String("apply-review", "", "apply a filled-in JSON review file instead of interactive review")
+		out          = flag.String("out", "", "write the standardized records CSV here")
+		golden       = flag.String("golden", "", "write the golden records CSV here")
+		preview      = flag.Int("preview", 5, "member pairs shown per group in interactive mode")
+	)
+	flag.Parse()
+	if *in == "" || (*keyCol == "" && *resolveKey == "" && *resolveMatch == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := loadDataset(*in, *keyCol, *srcCol, *resolveKey, *resolveMatch, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d clusters, %d records, attributes: %s\n",
+		len(ds.Clusters), ds.NumRecords(), strings.Join(ds.Attrs, ", "))
+
+	cons, err := goldrec.New(ds)
+	if err != nil {
+		fatal(err)
+	}
+
+	attrs := ds.Attrs
+	if *cols != "" {
+		attrs = strings.Split(*cols, ",")
+	}
+	stdin := bufio.NewReader(os.Stdin)
+	for _, attr := range attrs {
+		attr = strings.TrimSpace(attr)
+		sess, err := cons.Column(attr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n--- column %q: %d candidate replacements ---\n", attr, sess.Stats().Candidates)
+		switch {
+		case *exportReview != "":
+			f, err := os.Create(*exportReview)
+			if err != nil {
+				fatal(err)
+			}
+			rf, err := sess.ExportReview(f, *budget)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("exported %d groups to %s; fill in decisions and re-run with -apply-review\n",
+				len(rf.Groups), *exportReview)
+			continue
+		case *applyReview != "":
+			// Regenerate the same groups, then apply the reviewer's
+			// decisions (IDs address the regenerated export order).
+			var scratch strings.Builder
+			if _, err := sess.ExportReview(&scratch, *budget); err != nil {
+				fatal(err)
+			}
+			f, err := os.Open(*applyReview)
+			if err != nil {
+				fatal(err)
+			}
+			stats, err := sess.ApplyReview(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			applied := 0
+			for _, s := range stats {
+				if s.CellsChanged > 0 {
+					applied++
+				}
+			}
+			fmt.Printf("applied %d approved groups from %s\n", applied, *applyReview)
+			continue
+		}
+		reviewed := sess.RunBudget(*budget, func(g *goldrec.Group) (bool, goldrec.Direction) {
+			if *yes {
+				return true, goldrec.Forward
+			}
+			return ask(stdin, g, *preview)
+		})
+		st := sess.Stats()
+		fmt.Printf("reviewed %d groups, applied %d, changed %d cells\n",
+			reviewed, st.GroupsApplied, st.CellsChanged)
+	}
+
+	if *out != "" {
+		if err := writeCSV(*out, ds, *keyCol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("standardized records written to %s\n", *out)
+	}
+	if *golden != "" {
+		records := cons.GoldenRecords()
+		gds := &table.Dataset{Name: "golden", Attrs: ds.Attrs}
+		for ci, rec := range records {
+			gds.Clusters = append(gds.Clusters, table.Cluster{
+				Key:     ds.Clusters[ci].Key,
+				Records: []table.Record{rec},
+			})
+		}
+		if err := writeCSV(*golden, gds, *keyCol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("golden records written to %s\n", *golden)
+	}
+}
+
+// ask shows a group and reads the human's decision: y (forward),
+// b (backward), anything else rejects.
+func ask(stdin *bufio.Reader, g *goldrec.Group, preview int) (bool, goldrec.Direction) {
+	fmt.Printf("\ngroup of %d replacement(s), %d site(s)\n", g.Size(), g.TotalSites())
+	fmt.Printf("transformation: %s\n", g.Program)
+	for i, p := range g.Pairs {
+		if i >= preview {
+			fmt.Printf("  ... and %d more\n", len(g.Pairs)-preview)
+			break
+		}
+		fmt.Printf("  %q → %q  (%d sites)\n", p.LHS, p.RHS, p.Sites)
+	}
+	fmt.Print("apply? [y = left→right, b = right→left, N = reject] ")
+	line, err := stdin.ReadString('\n')
+	if err != nil {
+		return false, goldrec.Forward
+	}
+	switch strings.ToLower(strings.TrimSpace(line)) {
+	case "y", "yes":
+		return true, goldrec.Forward
+	case "b", "back", "backward":
+		return true, goldrec.Backward
+	}
+	return false, goldrec.Forward
+}
+
+// loadDataset reads the input either pre-clustered (keyCol) or flat with
+// on-the-fly entity resolution.
+func loadDataset(path, keyCol, srcCol, resolveKey, resolveMatch string, threshold float64) (*table.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if keyCol != "" {
+		return table.ReadCSV(f, path, keyCol, srcCol)
+	}
+	attrs, records, err := table.ReadFlatCSV(f, path, srcCol)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := goldrec.Resolve(path, attrs, records, goldrec.ResolveOptions{
+		KeyAttr:   resolveKey,
+		MatchAttr: resolveMatch,
+		Threshold: threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("resolved %d records into %d clusters\n", len(records), len(ds.Clusters))
+	return ds, nil
+}
+
+func writeCSV(path string, ds *table.Dataset, keyCol string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return table.WriteCSV(f, ds, keyCol)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goldrec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command grouper explores the replacement groups of one CSV column
+// without applying anything: it prints the top-k groups, largest first,
+// with their transformation programs — the incremental Algorithm 7 under
+// an interactive magnifying glass.
+//
+//	grouper -in clustered.csv -key isbn -col author_list -k 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/table"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input CSV path (required)")
+		keyCol  = flag.String("key", "", "clustering key column name (required)")
+		col     = flag.String("col", "", "attribute to group (required)")
+		k       = flag.Int("k", 20, "number of groups to generate")
+		preview = flag.Int("preview", 5, "member pairs shown per group")
+		noAffix = flag.Bool("no-affix", false, "disable the affix DSL extension")
+	)
+	flag.Parse()
+	if *in == "" || *keyCol == "" || *col == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := table.ReadCSV(f, *in, *keyCol, "")
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cons, err := goldrec.New(ds, goldrec.WithAffix(!*noAffix))
+	if err != nil {
+		fatal(err)
+	}
+	sess, err := cons.Column(*col)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d candidate replacements from %d clusters\n",
+		sess.Stats().Candidates, len(ds.Clusters))
+
+	for i := 0; i < *k; i++ {
+		start := time.Now()
+		g, ok := sess.NextGroup()
+		if !ok {
+			fmt.Println("\nno more groups")
+			break
+		}
+		fmt.Printf("\n#%d  size=%d  sites=%d  generated in %v\n",
+			i+1, g.Size(), g.TotalSites(), time.Since(start).Round(time.Microsecond))
+		fmt.Printf("   structure: %s\n", g.Structure)
+		fmt.Printf("   program:   %s\n", g.Program)
+		for pi, p := range g.Pairs {
+			if pi >= *preview {
+				fmt.Printf("   ... and %d more\n", len(g.Pairs)-*preview)
+				break
+			}
+			fmt.Printf("   %q → %q (%d sites)\n", p.LHS, p.RHS, p.Sites)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grouper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package goldrec_test
+
+import (
+	"fmt"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/table"
+)
+
+// Example_quickstart mirrors the paper's running example: the Name
+// column of two clusters of duplicate records, grouped without any
+// labeled examples. The largest groups pair the Lee-cluster replacement
+// with the Smith-cluster replacement that shares its transformation.
+func Example_quickstart() {
+	ds := &table.Dataset{
+		Attrs: []string{"Name"},
+		Clusters: []table.Cluster{
+			{Key: "C1", Records: []table.Record{
+				{Values: []string{"Mary Lee"}},
+				{Values: []string{"M. Lee"}},
+				{Values: []string{"Lee, Mary"}},
+			}},
+			{Key: "C2", Records: []table.Record{
+				{Values: []string{"Smith, James"}},
+				{Values: []string{"James Smith"}},
+				{Values: []string{"J. Smith"}},
+			}},
+		},
+	}
+	cons, err := goldrec.New(ds)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := cons.Column("Name")
+	if err != nil {
+		panic(err)
+	}
+	var sizes []int
+	for {
+		g, ok := sess.NextGroup()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, g.Size())
+	}
+	fmt.Println("group sizes:", sizes)
+	// Output:
+	// group sizes: [2 2 2 2 2 1 1 1 1 1 1]
+}

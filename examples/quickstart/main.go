@@ -1,0 +1,123 @@
+// Quickstart reproduces the paper's running example (Figure 1): the
+// clustered records of Table 1 are standardized into Table 2 and
+// consolidated into the golden records of Table 3, using only the public
+// API. The "human" is a small callback that recognizes the variant pairs
+// of the example.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/table"
+)
+
+func main() {
+	ds := &table.Dataset{
+		Name:  "paper-example",
+		Attrs: []string{"Name", "Address"},
+		Clusters: []table.Cluster{
+			{Key: "C1", Records: []table.Record{
+				{Values: []string{"Mary Lee", "9 St, 02141 Wisconsin"}},
+				{Values: []string{"M. Lee", "9th St, 02141 WI"}},
+				{Values: []string{"Lee, Mary", "9 Street, 02141 WI"}},
+			}},
+			{Key: "C2", Records: []table.Record{
+				{Values: []string{"Smith, James", "5th St, 22701 California"}},
+				{Values: []string{"James Smith", "3rd E Ave, 33990 California"}},
+				{Values: []string{"J. Smith", "3 E Avenue, 33990 CA"}},
+			}},
+		},
+	}
+	fmt.Println("Table 1 (input):")
+	printDataset(ds)
+
+	cons, err := goldrec.New(ds)
+	if err != nil {
+		panic(err)
+	}
+
+	// The standard forms the human is steering toward (what they know
+	// about the entities behind the clusters).
+	standard := []string{
+		"Mary Lee", "James Smith",
+		"9th Street, 02141 WI", "3rd E Avenue, 33990 CA", "5th Street, 22701 CA",
+	}
+
+	for _, attr := range []string{"Name", "Address"} {
+		sess, err := cons.Column(attr)
+		if err != nil {
+			panic(err)
+		}
+		reviewed := sess.RunBudget(0, func(g *goldrec.Group) (bool, goldrec.Direction) {
+			return verify(g, standard)
+		})
+		st := sess.Stats()
+		fmt.Printf("column %-8s: %2d candidate replacements, %2d groups reviewed, %d applied, %d cells changed\n",
+			attr, st.Candidates, reviewed, st.GroupsApplied, st.CellsChanged)
+	}
+
+	fmt.Println("\nTable 2 (variant values standardized):")
+	printDataset(ds)
+
+	fmt.Println("Table 3 (golden records):")
+	for ci, rec := range cons.GoldenRecords() {
+		fmt.Printf("  %s: %s\n", ds.Clusters[ci].Key, strings.Join(rec.Values, " | "))
+	}
+}
+
+// verify plays the human expert: approve a group when every member pair
+// can plausibly be two renderings of the same thing (here: both sides
+// reduce to the same standard string), and pick the direction that moves
+// values toward the standard forms.
+func verify(g *goldrec.Group, standard []string) (bool, goldrec.Direction) {
+	towardRHS, towardLHS := 0, 0
+	for _, p := range g.Pairs {
+		lhsStd := matchesStandard(p.LHS, standard)
+		rhsStd := matchesStandard(p.RHS, standard)
+		if !lhsStd && !rhsStd {
+			return false, goldrec.Forward // neither side looks standard: reject
+		}
+		if rhsStd {
+			towardRHS++
+		} else {
+			towardLHS++
+		}
+	}
+	if towardLHS > towardRHS {
+		return true, goldrec.Backward
+	}
+	return true, goldrec.Forward
+}
+
+// matchesStandard reports whether v appears, as a whole value or a token
+// run, inside one of the standard forms.
+func matchesStandard(v string, standard []string) bool {
+	vt := strings.Fields(v)
+	for _, s := range standard {
+		st := strings.Fields(s)
+		for i := 0; i+len(vt) <= len(st); i++ {
+			match := true
+			for k := range vt {
+				if st[i+k] != vt[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func printDataset(ds *table.Dataset) {
+	for ci := range ds.Clusters {
+		for _, r := range ds.Clusters[ci].Records {
+			fmt.Printf("  %s | %s\n", ds.Clusters[ci].Key, strings.Join(r.Values, " | "))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,269 @@
+// Package goldrec is a Go implementation of unsupervised string
+// transformation learning for entity consolidation (Deng et al., 2019).
+//
+// Given clusters of duplicate records (the output of an entity-resolution
+// step), goldrec standardizes variant values — values that are logically
+// the same but formatted differently — by (1) enumerating candidate
+// replacements inside each cluster, (2) grouping the candidates that
+// share a transformation program in a FlashFill-style DSL, without any
+// labeled examples, (3) presenting the groups, largest first, to a human
+// for batch approval, and (4) applying approved groups and running truth
+// discovery to construct one golden record per cluster.
+//
+// Typical use:
+//
+//	cons, _ := goldrec.New(dataset)
+//	sess, _ := cons.Column("Address")
+//	for {
+//		g, ok := sess.NextGroup()
+//		if !ok {
+//			break
+//		}
+//		if humanApproves(g) {
+//			sess.Apply(g, goldrec.Forward)
+//		}
+//	}
+//	golden := cons.GoldenRecords()
+package goldrec
+
+import (
+	"fmt"
+
+	"github.com/goldrec/goldrec/internal/core"
+	"github.com/goldrec/goldrec/internal/er"
+	"github.com/goldrec/goldrec/internal/truth"
+	"github.com/goldrec/goldrec/table"
+)
+
+// Algorithm selects the grouping algorithm (Section 8.2 compares all
+// three; they produce the same groups at very different costs).
+type Algorithm int
+
+const (
+	// Incremental generates the next-largest group on demand
+	// (Section 6) — the recommended default.
+	Incremental Algorithm = iota
+	// EarlyTerm generates all groups upfront with threshold-based
+	// early termination (Section 5.2).
+	EarlyTerm
+	// OneShot generates all groups upfront with no pruning
+	// (Algorithm 2 verbatim). Exponential in value length; useful only
+	// for small inputs and for reproducing Figure 9.
+	OneShot
+)
+
+// Direction says which way to apply an approved group's replacements.
+type Direction int
+
+const (
+	// Forward replaces each pair's LHS with its RHS.
+	Forward Direction = iota
+	// Backward replaces RHS with LHS.
+	Backward
+)
+
+type config struct {
+	tokenCandidates bool
+	affix           bool
+	maxPathLen      int
+	algorithm       Algorithm
+	constantScoring bool
+	minimalSubStr   bool
+	parallel        bool
+	maxStringLen    int
+	strMatchPos     bool
+}
+
+// Option configures a Consolidator.
+type Option func(*config)
+
+// WithTokenCandidates toggles the fine-grained token-level candidate
+// generation of Appendix A (default on).
+func WithTokenCandidates(on bool) Option {
+	return func(c *config) { c.tokenCandidates = on }
+}
+
+// WithAffix toggles the Prefix/Suffix DSL extension of Section 7.3
+// (default on; Figure 10 measures the difference).
+func WithAffix(on bool) Option {
+	return func(c *config) { c.affix = on }
+}
+
+// WithMaxPathLen sets θ, the maximum transformation-path length
+// (default 6, as in Section 8.2).
+func WithMaxPathLen(n int) Option {
+	return func(c *config) { c.maxPathLen = n }
+}
+
+// WithAlgorithm selects the grouping algorithm (default Incremental).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.algorithm = a }
+}
+
+// WithConstantScoring toggles the Appendix E constant-string static
+// order (default on, as in the paper's implementation — Section 7.4
+// forces the static orders for efficiency; without them pivot search on
+// long values does not terminate in reasonable time).
+func WithConstantScoring(on bool) Option {
+	return func(c *config) { c.constantScoring = on }
+}
+
+// WithMinimalSubStr toggles the Appendix E string-function static order
+// (keep one SubStr label per edge; default on, see WithConstantScoring).
+func WithMinimalSubStr(on bool) Option {
+	return func(c *config) { c.minimalSubStr = on }
+}
+
+// WithParallel lets upfront grouping use all CPUs (default on).
+func WithParallel(on bool) Option {
+	return func(c *config) { c.parallel = on }
+}
+
+// WithMaxStringLen bounds the length of values considered for
+// transformation graphs (default 120 runes).
+func WithMaxStringLen(n int) Option {
+	return func(c *config) { c.maxStringLen = n }
+}
+
+// WithLiteralPositions enables constant-string terms in position
+// functions (Appendix B mentions them; off by default).
+func WithLiteralPositions(on bool) Option {
+	return func(c *config) { c.strMatchPos = on }
+}
+
+// Consolidator owns a dataset being consolidated.
+type Consolidator struct {
+	ds  *table.Dataset
+	cfg config
+}
+
+// New validates the dataset and returns a Consolidator. The dataset is
+// standardized in place; Clone it first if the original must survive.
+func New(ds *table.Dataset, opts ...Option) (*Consolidator, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := config{
+		tokenCandidates: true,
+		affix:           true,
+		maxPathLen:      core.DefaultMaxPathLen,
+		algorithm:       Incremental,
+		constantScoring: true,
+		minimalSubStr:   true,
+		parallel:        true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Consolidator{ds: ds, cfg: cfg}, nil
+}
+
+// Dataset returns the underlying (mutable) dataset.
+func (c *Consolidator) Dataset() *table.Dataset { return c.ds }
+
+// Column starts a standardization session for the named attribute.
+func (c *Consolidator) Column(attr string) (*Session, error) {
+	col := c.ds.ColumnIndex(attr)
+	if col < 0 {
+		return nil, fmt.Errorf("goldrec: dataset %q has no attribute %q", c.ds.Name, attr)
+	}
+	return c.ColumnIndex(col)
+}
+
+// ColumnIndex starts a standardization session for a column by index.
+func (c *Consolidator) ColumnIndex(col int) (*Session, error) {
+	if col < 0 || col >= len(c.ds.Attrs) {
+		return nil, fmt.Errorf("goldrec: column %d out of range", col)
+	}
+	return newSession(c, col), nil
+}
+
+// GoldenRecords runs majority-consensus truth discovery on every column
+// of the (standardized) dataset and returns one golden record per
+// cluster, in cluster order (Algorithm 1, line 10). Columns with a
+// frequency tie get an empty value.
+func (c *Consolidator) GoldenRecords() []table.Record {
+	consByCol := make([][]truth.Consensus, len(c.ds.Attrs))
+	for col := range c.ds.Attrs {
+		consByCol[col] = truth.MajorityConsensus(c.ds, col)
+	}
+	return truth.GoldenRecords(c.ds, consByCol)
+}
+
+// GoldenRecordsWeighted is GoldenRecords with the iterative
+// source-reliability truth discovery instead of plain majority consensus;
+// it needs Record.Source to be populated.
+func (c *Consolidator) GoldenRecordsWeighted() []table.Record {
+	consByCol := make([][]truth.Consensus, len(c.ds.Attrs))
+	for col := range c.ds.Attrs {
+		consByCol[col] = truth.WeightedConsensus(c.ds, col, truth.WeightedOptions{})
+	}
+	return truth.GoldenRecords(c.ds, consByCol)
+}
+
+// GoldenRecordsTruthFinder is GoldenRecords with the TruthFinder-style
+// algorithm: iterative source trust and value confidence where similar
+// values reinforce each other. Record.Source should be populated.
+func (c *Consolidator) GoldenRecordsTruthFinder() []table.Record {
+	consByCol := make([][]truth.Consensus, len(c.ds.Attrs))
+	for col := range c.ds.Attrs {
+		consByCol[col] = truth.TruthFinder(c.ds, col, truth.TruthFinderOptions{})
+	}
+	return truth.GoldenRecords(c.ds, consByCol)
+}
+
+// ResolveOptions configure Resolve, the entity-resolution front end for
+// unclustered records.
+type ResolveOptions struct {
+	// KeyAttr clusters by exact equality of the named attribute (the
+	// ISBN/ISSN/EIN style the paper's datasets use). Empty means
+	// similarity matching instead.
+	KeyAttr string
+	// MatchAttr is the attribute compared by Jaccard token similarity
+	// when KeyAttr is empty.
+	MatchAttr string
+	// Threshold is the minimum similarity for a match (0 = 0.6).
+	Threshold float64
+}
+
+// Resolve clusters unclustered records (for example from
+// table.ReadFlatCSV) into a Dataset ready for consolidation. It is a
+// baseline entity-resolution step — production systems the paper cites
+// (Tamr, Magellan) do this job with far more machinery.
+func Resolve(name string, attrs []string, records []table.Record, opts ResolveOptions) (*table.Dataset, error) {
+	erOpts := er.Options{KeyCol: -1, Threshold: opts.Threshold}
+	if opts.KeyAttr != "" {
+		erOpts.KeyCol = indexOf(attrs, opts.KeyAttr)
+		if erOpts.KeyCol < 0 {
+			return nil, fmt.Errorf("goldrec: no attribute %q to resolve by", opts.KeyAttr)
+		}
+	} else {
+		erOpts.MatchCol = indexOf(attrs, opts.MatchAttr)
+		if erOpts.MatchCol < 0 {
+			return nil, fmt.Errorf("goldrec: no attribute %q to match on", opts.MatchAttr)
+		}
+	}
+	erRecs := make([]er.Record, len(records))
+	for i, r := range records {
+		erRecs[i] = er.Record{Source: r.Source, Values: r.Values}
+	}
+	clusters := er.Resolve(erRecs, erOpts)
+	ds := &table.Dataset{Name: name, Attrs: attrs}
+	for i, cl := range clusters {
+		c := table.Cluster{Key: fmt.Sprintf("er-%05d", i)}
+		for _, ri := range cl {
+			c.Records = append(c.Records, records[ri])
+		}
+		ds.Clusters = append(ds.Clusters, c)
+	}
+	return ds, ds.Validate()
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/goldrec/goldrec/internal/dsl"
+	"github.com/goldrec/goldrec/internal/tgraph"
+)
+
+// Mode selects the grouping algorithm variant of Section 8.2.
+type Mode int
+
+const (
+	// ModeOneShot is the vanilla UnsupervisedGrouping of Algorithm 2:
+	// no early termination.
+	ModeOneShot Mode = iota
+	// ModeEarlyTerm adds the two threshold-based early terminations of
+	// Section 5.2 (Algorithm 4).
+	ModeEarlyTerm
+)
+
+// Options configure a grouping engine.
+type Options struct {
+	// Graph controls transformation-graph construction.
+	Graph tgraph.Options
+	// MaxPathLen is θ (default 6).
+	MaxPathLen int
+	// ConstantScoring enables the Appendix E constant-string static
+	// order using freqStruc/sqrt(freqGlobal) scores.
+	ConstantScoring bool
+	// MaxConstLen caps the substring length tracked by the frequency
+	// maps (default 16); longer substrings score zero and are pruned
+	// (the whole-string constant is always kept by the builder).
+	MaxConstLen int
+	// MaxSteps bounds each pivot search's DFS extensions
+	// (0 = unlimited). With a budget the engine degrades gracefully on
+	// dense graphs (e.g. when the Appendix E static orders are
+	// disabled for ablation) at the cost of exactness: a truncated
+	// search may miss the true pivot.
+	MaxSteps int
+	// Parallel prepares structure groups and searches pivots on all
+	// CPUs in AllGroups. Results are deterministic either way.
+	Parallel bool
+}
+
+const defaultMaxConstLen = 16
+
+// Group is one replacement group: the set of replacements that share the
+// pivot transformation path Path (a program in the DSL) and the structure
+// signature Sig.
+type Group struct {
+	Sig     string
+	Path    []tgraph.LabelID
+	Program dsl.Program
+	Members []Rep
+}
+
+// Size returns the number of member replacements.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Engine partitions candidate replacements by structure (Section 7.2)
+// and groups each partition by shared pivot paths. It supports both the
+// upfront AllGroups (Algorithm 2) and the incremental NextGroup
+// (Algorithms 5-7).
+type Engine struct {
+	opts Options
+	ctxs []*Context
+	// loc maps an external replacement id to its context and index.
+	loc map[int]struct {
+		ctx *Context
+		idx int
+	}
+	globalFreq map[string]int
+	units      *unitHeap
+	skipped    int
+}
+
+// NewEngine builds the engine over a set of candidate replacements. Ext
+// ids must be unique.
+func NewEngine(reps []Rep, opts Options) *Engine {
+	if opts.MaxConstLen <= 0 {
+		opts.MaxConstLen = defaultMaxConstLen
+	}
+	e := &Engine{opts: opts}
+	e.ctxs = splitByStructure(reps)
+	e.loc = make(map[int]struct {
+		ctx *Context
+		idx int
+	}, len(reps))
+	for _, c := range e.ctxs {
+		for i, r := range c.Reps {
+			e.loc[r.Ext] = struct {
+				ctx *Context
+				idx int
+			}{c, i}
+		}
+	}
+	if opts.ConstantScoring {
+		e.globalFreq = make(map[string]int)
+		for _, r := range reps {
+			countSubstrings(e.globalFreq, r.T, opts.MaxConstLen)
+		}
+	}
+	e.units = &unitHeap{}
+	for ci, c := range e.ctxs {
+		heap.Push(e.units, unit{ctx: ci, gi: -1, up: c.AliveCount()})
+	}
+	return e
+}
+
+// NumContexts returns the number of structure groups.
+func (e *Engine) NumContexts() int { return len(e.ctxs) }
+
+// Skipped returns how many replacements could not be graphed (empty or
+// overlong strings) and were excluded from grouping.
+func (e *Engine) Skipped() int { return e.skipped }
+
+// graphOptions returns the tgraph options for one context, wiring in the
+// per-structure-group constant scorer when enabled.
+func (e *Engine) graphOptions(c *Context) tgraph.Options {
+	opt := e.opts.Graph
+	if e.opts.ConstantScoring {
+		structFreq := make(map[string]int)
+		for i, r := range c.Reps {
+			if c.preDead[i] {
+				continue
+			}
+			countSubstrings(structFreq, r.T, e.opts.MaxConstLen)
+		}
+		maxLen := e.opts.MaxConstLen
+		global := e.globalFreq
+		opt.ConstantScore = func(sub string) float64 {
+			if len(sub) > maxLen {
+				return 0
+			}
+			fs := structFreq[sub]
+			fg := global[sub]
+			if fg == 0 {
+				fg = 1
+			}
+			return float64(fs) / math.Sqrt(float64(fg))
+		}
+	}
+	return opt
+}
+
+func (e *Engine) prepare(c *Context) {
+	if c.Prepared() {
+		return
+	}
+	before := c.AliveCount()
+	c.Prepare(e.graphOptions(c))
+	e.skipped += before - c.AliveCount()
+}
+
+// searchOpts returns the per-mode pivot search options.
+func (e *Engine) searchOpts(mode Mode) SearchOpts {
+	return SearchOpts{
+		MaxPathLen: e.opts.MaxPathLen,
+		LocalTerm:  mode != ModeOneShot,
+		GlobalTerm: mode != ModeOneShot,
+		MaxSteps:   e.opts.MaxSteps,
+	}
+}
+
+// AllGroups runs the upfront grouping of Algorithm 2: every alive
+// replacement is assigned to the group of its pivot path, and the groups
+// are returned sorted by size descending (the verification order of
+// Section 3 Step 3).
+func (e *Engine) AllGroups(mode Mode) []*Group {
+	workers := 1
+	if e.opts.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type ctxGroups struct {
+		ci     int
+		groups []*Group
+	}
+	results := make([]ctxGroups, len(e.ctxs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var mu sync.Mutex
+	skippedDelta := 0
+	for ci, c := range e.ctxs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int, c *Context) {
+			defer func() { <-sem; wg.Done() }()
+			if !c.Prepared() {
+				before := c.AliveCount()
+				c.Prepare(e.graphOptions(c))
+				mu.Lock()
+				skippedDelta += before - c.AliveCount()
+				mu.Unlock()
+			}
+			results[ci] = ctxGroups{ci: ci, groups: e.groupContext(c, mode)}
+		}(ci, c)
+	}
+	wg.Wait()
+	e.skipped += skippedDelta
+	var all []*Group
+	for _, r := range results {
+		all = append(all, r.groups...)
+	}
+	sortGroups(all)
+	return all
+}
+
+// groupContext groups one prepared context by pivot path. Because a
+// graph can have several pivot paths with the same (maximal) support, the
+// raw per-graph search result is DFS-order dependent and would split
+// groups that Algorithm 7 keeps together; a canonical second pass assigns
+// every graph to the lexicographically smallest path among its
+// maximal-support candidates, which restores the paper's claim that the
+// one-shot and incremental algorithms produce the same groups.
+func (e *Engine) groupContext(c *Context, mode Mode) []*Group {
+	opts := e.searchOpts(mode)
+	type found struct {
+		gi    int
+		count int
+	}
+	var founds []found
+	paths := make(map[string][]tgraph.LabelID)
+	for gi, g := range c.Graphs {
+		if g == nil || !c.alive[gi] {
+			continue
+		}
+		res, ok := c.SearchPivot(g, 0, opts)
+		if !ok {
+			// Cannot happen: the whole-string constant path always
+			// spans g itself. Guard anyway.
+			continue
+		}
+		founds = append(founds, found{gi: gi, count: res.count})
+		paths[pathKey(res.path)] = res.path
+	}
+	// Support sets of every distinct pivot path found.
+	type pathInfo struct {
+		key     string
+		path    []tgraph.LabelID
+		support map[int32]bool
+		size    int
+	}
+	keys := make([]string, 0, len(paths))
+	for k := range paths {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	infos := make([]pathInfo, 0, len(keys))
+	for _, k := range keys {
+		sup := c.pathSupport(paths[k])
+		m := make(map[int32]bool, len(sup))
+		for _, g := range sup {
+			m[g] = true
+		}
+		infos = append(infos, pathInfo{key: k, path: paths[k], support: m, size: len(sup)})
+	}
+	// Canonical assignment: smallest key among max-support candidates.
+	byPath := make(map[string]*Group)
+	var order []string
+	for _, f := range founds {
+		var chosen *pathInfo
+		for i := range infos {
+			in := &infos[i]
+			if in.size == f.count && in.support[int32(f.gi)] {
+				chosen = in
+				break // keys are sorted, first hit is smallest
+			}
+		}
+		if chosen == nil {
+			continue // unreachable: the graph's own pivot qualifies
+		}
+		grp, exists := byPath[chosen.key]
+		if !exists {
+			grp = &Group{Sig: c.Sig, Path: chosen.path, Program: c.Program(chosen.path)}
+			byPath[chosen.key] = grp
+			order = append(order, chosen.key)
+		}
+		grp.Members = append(grp.Members, c.Reps[f.gi])
+	}
+	out := make([]*Group, 0, len(order))
+	for _, key := range order {
+		out = append(out, byPath[key])
+	}
+	return out
+}
+
+func pathKey(path []tgraph.LabelID) string {
+	b := make([]byte, 0, len(path)*4)
+	for _, id := range path {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// sortGroups orders groups by size descending with deterministic
+// tie-breaking (structure signature, then program rendering).
+func sortGroups(gs []*Group) {
+	sort.Slice(gs, func(a, b int) bool {
+		if len(gs[a].Members) != len(gs[b].Members) {
+			return len(gs[a].Members) > len(gs[b].Members)
+		}
+		if gs[a].Sig != gs[b].Sig {
+			return gs[a].Sig < gs[b].Sig
+		}
+		pa, pb := gs[a].Program.Key(), gs[b].Program.Key()
+		if pa != pb {
+			return pa < pb
+		}
+		return gs[a].Members[0].Ext < gs[b].Members[0].Ext
+	})
+}
+
+// Remove drops replacements (by external id) from future grouping — the
+// framework calls it when an applied group empties a replacement set
+// (Section 7.1).
+func (e *Engine) Remove(exts ...int) {
+	for _, ext := range exts {
+		if l, ok := e.loc[ext]; ok {
+			l.ctx.remove(l.idx)
+		}
+	}
+}
+
+// ---- incremental engine (Section 6, Algorithms 5-7) ----
+
+type unit struct {
+	ctx int
+	gi  int // -1 = unprepared context placeholder
+	up  int
+}
+
+type unitHeap []unit
+
+func (h unitHeap) Len() int            { return len(h) }
+func (h unitHeap) Less(i, j int) bool  { return h[i].up > h[j].up }
+func (h unitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x interface{}) { *h = append(*h, x.(unit)) }
+func (h *unitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// validatedTau computes τ, the largest *validated* lower bound among
+// alive graphs. Lower bounds whose witness predates a removal are
+// re-validated by re-intersecting the witness path (DESIGN.md: witnessed
+// lower bounds keep Theorem 6.4 correct under removals).
+func (e *Engine) validatedTau() (tau int, ctx *Context, gi int) {
+	tau = 1
+	for {
+		best, bestCtx, bestGi := 1, (*Context)(nil), -1
+		for _, c := range e.ctxs {
+			if !c.Prepared() {
+				continue
+			}
+			for i := range c.Graphs {
+				if c.Graphs[i] == nil || !c.alive[i] || c.lo[i] <= best {
+					continue
+				}
+				best, bestCtx, bestGi = c.lo[i], c, i
+			}
+		}
+		if bestCtx == nil {
+			return tau, nil, -1
+		}
+		if bestCtx.witnessGen[bestGi] == bestCtx.gen {
+			return best, bestCtx, bestGi
+		}
+		// Stale: re-validate against the alive set.
+		support := bestCtx.pathSupport(bestCtx.witness[bestGi])
+		n := len(support)
+		if n < 1 {
+			n = 1
+		}
+		bestCtx.lo[bestGi] = n
+		bestCtx.witnessGen[bestGi] = bestCtx.gen
+	}
+}
+
+// NextGroup is GenerateNextLargestGroup (Algorithm 7): it returns the
+// largest remaining replacement group and removes its members from
+// future consideration. It returns nil when no replacements remain.
+func (e *Engine) NextGroup() *Group {
+	tau, tauCtx, tauGi := e.validatedTau()
+	var best searchResult
+	var bestCtx *Context
+	best.count = tau
+	var fallbackCtx *Context
+	fallbackGi := -1
+
+	searchOpts := SearchOpts{
+		MaxPathLen: e.opts.MaxPathLen,
+		LocalTerm:  true,
+		GlobalTerm: true,
+		MaxSteps:   e.opts.MaxSteps,
+	}
+
+	for e.units.Len() > 0 {
+		it := heap.Pop(e.units).(unit)
+		c := e.ctxs[it.ctx]
+		if it.gi == -1 {
+			if c.Prepared() {
+				continue // already expanded
+			}
+			if c.AliveCount() == 0 {
+				continue
+			}
+			if tau >= it.up && fallbackCtx != nil {
+				// Even this whole context cannot beat τ; put it back
+				// for later invocations and stop.
+				heap.Push(e.units, it)
+				break
+			}
+			e.prepare(c)
+			for gi, g := range c.Graphs {
+				if g != nil && c.alive[gi] {
+					heap.Push(e.units, unit{ctx: it.ctx, gi: gi, up: c.up[gi]})
+				}
+			}
+			continue
+		}
+		if c.Graphs[it.gi] == nil || !c.alive[it.gi] {
+			continue
+		}
+		if it.up != c.up[it.gi] {
+			// Stale entry; reinsert with the current bound.
+			heap.Push(e.units, unit{ctx: it.ctx, gi: it.gi, up: c.up[it.gi]})
+			continue
+		}
+		if fallbackCtx == nil {
+			fallbackCtx, fallbackGi = c, it.gi
+		}
+		if tau >= it.up {
+			heap.Push(e.units, it)
+			break
+		}
+		res, ok := c.SearchPivot(c.Graphs[it.gi], tau, searchOpts)
+		if ok {
+			tau = res.count
+			best = res
+			bestCtx = c
+			c.lo[it.gi] = res.count
+			c.up[it.gi] = res.count
+			c.witness[it.gi] = res.path
+			c.witnessGen[it.gi] = c.gen
+		} else {
+			c.up[it.gi] = tau
+		}
+		heap.Push(e.units, unit{ctx: it.ctx, gi: it.gi, up: c.up[it.gi]})
+	}
+
+	if bestCtx == nil {
+		// No search beat τ. The largest group is the validated witness
+		// (or a singleton when τ = 1).
+		switch {
+		case tauCtx != nil && tauCtx.witness[tauGi] != nil:
+			path := tauCtx.witness[tauGi]
+			support := tauCtx.pathSupport(path)
+			if len(support) > 0 {
+				best = searchResult{path: path, support: support, count: len(support)}
+				bestCtx = tauCtx
+			}
+		}
+		if bestCtx == nil && fallbackCtx != nil {
+			res, ok := fallbackCtx.SearchPivot(fallbackCtx.Graphs[fallbackGi], 0,
+				SearchOpts{MaxPathLen: e.opts.MaxPathLen, LocalTerm: true})
+			if ok {
+				best = res
+				bestCtx = fallbackCtx
+			}
+		}
+		if bestCtx == nil {
+			return nil
+		}
+	}
+
+	grp := &Group{
+		Sig:     bestCtx.Sig,
+		Path:    best.path,
+		Program: bestCtx.Program(best.path),
+	}
+	for _, gid := range best.support {
+		grp.Members = append(grp.Members, bestCtx.Reps[gid])
+		bestCtx.remove(int(gid))
+	}
+	return grp
+}
+
+func countSubstrings(m map[string]int, s string, maxLen int) {
+	r := []rune(s)
+	for i := 0; i < len(r); i++ {
+		for j := i + 1; j <= len(r) && j-i <= maxLen; j++ {
+			m[string(r[i:j])]++
+		}
+	}
+}

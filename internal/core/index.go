@@ -1,0 +1,165 @@
+// Package core implements the unsupervised grouping algorithms of the
+// paper: the inverted index over transformation-graph edge labels with
+// adjacency-aware list intersection (Section 5.1), the pivot-path search
+// with local and global threshold early termination (Algorithms 3-4), the
+// one-shot UnsupervisedGrouping (Algorithm 2) and the incremental top-k
+// grouping (Section 6, Algorithms 5-7), including the structure-group
+// refinement of Section 7.2.
+package core
+
+import (
+	"sort"
+
+	"github.com/goldrec/goldrec/internal/tgraph"
+)
+
+// Posting is one inverted-list entry ⟨G, i, j⟩: the edge from node i to
+// node j of graph G carries the list's label (Section 5.1).
+type Posting struct {
+	G    int32
+	I, J int16
+}
+
+// Index is the inverted index from edge labels to postings, built once
+// per grouping context (structure group).
+type Index struct {
+	lists map[tgraph.LabelID][]Posting
+	// graphCount[f] is the number of distinct graphs with at least one
+	// posting for f, the |I[f]| of Lemma 6.2's upper bounds.
+	graphCount map[tgraph.LabelID]int
+}
+
+// BuildIndex indexes every edge label of every graph. Graph IDs must
+// equal their slice positions.
+func BuildIndex(graphs []*tgraph.Graph) *Index {
+	ix := &Index{
+		lists:      make(map[tgraph.LabelID][]Posting),
+		graphCount: make(map[tgraph.LabelID]int),
+	}
+	for _, g := range graphs {
+		if g == nil {
+			continue
+		}
+		for i := 1; i < len(g.Adj); i++ {
+			for _, e := range g.Adj[i] {
+				for _, f := range e.Labels {
+					ix.lists[f] = append(ix.lists[f], Posting{G: int32(g.ID), I: int16(i), J: int16(e.To)})
+				}
+			}
+		}
+	}
+	// Graphs are visited in ID order and edges in (i,j) order, so each
+	// list is already sorted by (G, I, J). Count distinct graphs.
+	for f, list := range ix.lists {
+		ix.graphCount[f] = distinctGraphs(list)
+	}
+	return ix
+}
+
+// List returns the postings of a label (nil when absent).
+func (ix *Index) List(f tgraph.LabelID) []Posting { return ix.lists[f] }
+
+// GraphCount returns the number of distinct graphs containing label f.
+func (ix *Index) GraphCount(f tgraph.LabelID) int { return ix.graphCount[f] }
+
+// NumLabels returns the number of distinct labels indexed.
+func (ix *Index) NumLabels() int { return len(ix.lists) }
+
+// intersect computes the adjacency-aware intersection of Section 5.1: an
+// entry ⟨G,i1,j1⟩ of l and ⟨G,i2,j2⟩ of list join into ⟨G,i1,j2⟩ iff
+// j1 = i2. Postings of graphs for which alive[G] is false are dropped.
+// Both inputs must be sorted by (G,I,J); the output is too.
+func intersect(l, list []Posting, alive []bool) []Posting {
+	var out []Posting
+	a, b := 0, 0
+	for a < len(l) && b < len(list) {
+		switch {
+		case l[a].G < list[b].G:
+			a++
+		case l[a].G > list[b].G:
+			b++
+		default:
+			g := l[a].G
+			ae := a
+			for ae < len(l) && l[ae].G == g {
+				ae++
+			}
+			be := b
+			for be < len(list) && list[be].G == g {
+				be++
+			}
+			if alive == nil || alive[g] {
+				start := len(out)
+				for x := a; x < ae; x++ {
+					for y := b; y < be; y++ {
+						if l[x].J == list[y].I {
+							out = append(out, Posting{G: g, I: l[x].I, J: list[y].J})
+						}
+					}
+				}
+				out = sortDedupBlock(out, start)
+			}
+			a, b = ae, be
+		}
+	}
+	return out
+}
+
+// sortDedupBlock sorts out[start:] by (I,J) and removes duplicates,
+// keeping the overall (G,I,J) order intact. Blocks are tiny in practice.
+func sortDedupBlock(out []Posting, start int) []Posting {
+	block := out[start:]
+	if len(block) <= 1 {
+		return out
+	}
+	sort.Slice(block, func(p, q int) bool {
+		if block[p].I != block[q].I {
+			return block[p].I < block[q].I
+		}
+		return block[p].J < block[q].J
+	})
+	w := start + 1
+	for x := start + 1; x < len(out); x++ {
+		if out[x] != out[w-1] {
+			out[w] = out[x]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// distinctGraphs counts the distinct graphs in a sorted posting list.
+func distinctGraphs(l []Posting) int {
+	n := 0
+	var prev int32 = -1
+	for _, p := range l {
+		if p.G != prev {
+			n++
+			prev = p.G
+		}
+	}
+	return n
+}
+
+// spanningGraphs returns the distinct graphs with a posting reaching that
+// graph's final node — the graphs that *contain* the completed path as a
+// transformation path (the support set used for grouping). The input
+// must be sorted by (G,I,J).
+func spanningGraphs(l []Posting, graphs []*tgraph.Graph) []int32 {
+	var out []int32
+	i := 0
+	for i < len(l) {
+		g := l[i].G
+		spans := false
+		for i < len(l) && l[i].G == g {
+			if int(l[i].J) == graphs[g].FinalNode() {
+				spans = true
+			}
+			i++
+		}
+		if spans {
+			out = append(out, g)
+		}
+	}
+	return out
+}

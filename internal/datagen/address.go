@@ -1,0 +1,252 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// addressValue is a logical postal address in the paper's shape
+// ("9th Street, 02141 WI" / "3rd E Avenue, 33990 CA").
+type addressValue struct {
+	// Either Ordinal > 0 (numbered street like "9th") or Name != ""
+	// (named street like "Main" or the Saint-trap "St Paul").
+	Ordinal int
+	Name    string
+	Dir     int // index into directions, -1 = none
+	Type    int // index into streetTypes
+	Zip     string
+	State   int // index into states
+	Suite   int // 0 = none
+}
+
+func ordinalSuffix(n int) string {
+	switch {
+	case n%100 >= 11 && n%100 <= 13:
+		return "th"
+	case n%10 == 1:
+		return "st"
+	case n%10 == 2:
+		return "nd"
+	case n%10 == 3:
+		return "rd"
+	}
+	return "th"
+}
+
+// render produces one formatting of the address. The canonical form
+// (matching Table 2's golden records) uses the suffixed ordinal, the
+// abbreviated direction, the full street type and the state code.
+type addrFormat struct {
+	stripOrdinal bool  // "9" instead of "9th"
+	abbrevType   bool  // "St" instead of "Street"
+	typePeriod   bool  // "St." instead of "St" (with abbrevType)
+	longDir      bool  // "East" instead of "E"
+	longState    bool  // "Wisconsin" instead of "WI"
+	saintLong    bool  // "Saint Paul" instead of "St Paul"
+	suiteStyle   uint8 // 0 "Suite", 1 "Ste", 2 "Apt", 3 "Unit"
+}
+
+// suiteWords are the suite-designator variants; "Suite" is canonical.
+var suiteWords = [4]string{"Suite", "Ste", "Apt", "Unit"}
+
+func (a addressValue) render(f addrFormat) string {
+	var b strings.Builder
+	if a.Ordinal > 0 {
+		b.WriteString(strconv.Itoa(a.Ordinal))
+		if !f.stripOrdinal {
+			b.WriteString(ordinalSuffix(a.Ordinal))
+		}
+	}
+	if a.Dir >= 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if f.longDir {
+			b.WriteString(directions[a.Dir][1])
+		} else {
+			b.WriteString(directions[a.Dir][0])
+		}
+	}
+	if a.Name != "" {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		name := a.Name
+		if f.saintLong {
+			name = strings.Replace(name, "St ", "Saint ", 1)
+		}
+		b.WriteString(name)
+	}
+	b.WriteByte(' ')
+	if f.abbrevType {
+		b.WriteString(streetTypes[a.Type][1])
+		if f.typePeriod {
+			b.WriteByte('.')
+		}
+	} else {
+		b.WriteString(streetTypes[a.Type][0])
+	}
+	if a.Suite > 0 {
+		b.WriteByte(' ')
+		b.WriteString(suiteWords[f.suiteStyle])
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(a.Suite))
+	}
+	b.WriteString(", ")
+	b.WriteString(a.Zip)
+	b.WriteByte(' ')
+	if f.longState {
+		b.WriteString(states[a.State][0])
+	} else {
+		b.WriteString(states[a.State][1])
+	}
+	return b.String()
+}
+
+func (a addressValue) canon() string { return a.render(addrFormat{}) }
+
+// Address generates the NYC-discretionary-funding-style dataset:
+// clusters are organizations (keyed by EIN); 18% of same-cluster pairs
+// are formatting variants and 82% are genuine conflicts (Table 6), with
+// one large cluster mimicking the paper's 1196-record outlier.
+func Address(cfg Config) *Generated {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xADD4E5))
+	numClusters := cfg.clusterCount(160)
+	ds := &tableDataset{name: "Address", attrs: []string{"Address", "OrgName"}}
+	sources := []string{"council-a", "council-b", "council-c", "council-d"}
+
+	for ci := 0; ci < numClusters; ci++ {
+		addr := randomAddress(rng)
+		vals := addressVariants(rng, addr)
+		vals = append(vals, addressConflicts(rng, addr)...)
+		size := sampleSize(rng, 2, 10)
+		if ci == 0 && numClusters >= 100 {
+			// The outlier cluster (the paper's 1196-record org). Only
+			// at realistic scale: in tiny configurations it would
+			// dominate every statistic.
+			size = 5 * sampleSize(rng, 2, 10)
+		}
+		key := fmt.Sprintf("ein-%07d", rng.Intn(10_000_000))
+		org := fmt.Sprintf("org %d", ci)
+		ds.addCluster(rng, key, vals, size, sources, addr.canon(), org)
+	}
+	return ds.finish()
+}
+
+func randomAddress(rng *rand.Rand) addressValue {
+	a := addressValue{
+		Dir:   -1,
+		Type:  rng.Intn(len(streetTypes)),
+		Zip:   fmt.Sprintf("%05d", rng.Intn(100000)),
+		State: rng.Intn(len(states)),
+	}
+	// The paper's Address data is NYC discretionary funding: one state
+	// dominates, so state-name variants are a handful of high-frequency
+	// pairs rather than the bulk of the variant mass.
+	if rng.Float64() < 0.8 {
+		a.State = stateNY
+	}
+	if rng.Float64() < 0.65 {
+		// Wide range: a specific ordinal pair ("1289th"→"1289") rarely
+		// repeats across clusters, so only the grouped transformation
+		// covers the tail (the paper's long-tail argument for batch
+		// verification).
+		a.Ordinal = 1 + rng.Intn(2999)
+	} else {
+		a.Name = pick(rng, namedStreets)
+	}
+	if rng.Float64() < 0.35 {
+		a.Dir = rng.Intn(len(directions))
+	}
+	if rng.Float64() < 0.2 {
+		a.Suite = 1 + rng.Intn(20)
+	}
+	return a
+}
+
+// addressVariants renders the canonical form plus 1-3 variants.
+func addressVariants(rng *rand.Rand, a addressValue) []value {
+	canon := a.canon()
+	vals := []value{{text: canon, canon: canon, weight: 4}}
+	candidates := []addrFormat{
+		{abbrevType: true},
+		{abbrevType: true, typePeriod: true},
+		{stripOrdinal: true, abbrevType: true},
+		{stripOrdinal: true},
+		{longDir: true},
+		{saintLong: true},
+		{suiteStyle: 1, abbrevType: true},
+		{suiteStyle: 2},
+		{suiteStyle: 3, abbrevType: true},
+	}
+	// Spelled-out state names are an occasional variant, not the bulk:
+	// the groupable families (ordinals, street types, directions) carry
+	// the variant mass, as in the paper's data.
+	if rng.Float64() < 0.3 {
+		candidates = append(candidates, addrFormat{longState: true})
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	want := 1 + rng.Intn(3)
+	for _, f := range candidates {
+		if len(vals) >= want+1 {
+			break
+		}
+		text := a.render(f)
+		if text == canon || containsValue(vals, text) {
+			continue
+		}
+		vals = append(vals, value{text: text, canon: canon, weight: 2})
+	}
+	return vals
+}
+
+// addressConflicts adds 2-4 different logical addresses (relocations,
+// data-entry errors, unrelated addresses) for the same organization.
+func addressConflicts(rng *rand.Rand, a addressValue) []value {
+	n := 2 + rng.Intn(3)
+	var out []value
+	for i := 0; i < n; i++ {
+		c := randomAddress(rng)
+		if rng.Float64() < 0.4 {
+			// Nearby conflict: same street, different number or zip,
+			// usually with a structural difference too (suite added or
+			// dropped, direction toggled) — organizations rarely move
+			// to an identically-shaped address.
+			c = a
+			if c.Ordinal > 0 && rng.Float64() < 0.5 {
+				c.Ordinal = 1 + rng.Intn(2999)
+			} else {
+				c.Zip = fmt.Sprintf("%05d", rng.Intn(100000))
+			}
+			switch rng.Intn(3) {
+			case 0:
+				if c.Suite > 0 {
+					c.Suite = 0
+				} else {
+					c.Suite = 1 + rng.Intn(20)
+				}
+			case 1:
+				if c.Dir >= 0 {
+					c.Dir = -1
+				} else {
+					c.Dir = rng.Intn(len(directions))
+				}
+			}
+		}
+		canon := c.canon()
+		if canon == a.canon() {
+			continue
+		}
+		text := canon
+		if rng.Float64() < 0.4 {
+			text = c.render(addrFormat{abbrevType: true})
+		}
+		if containsValue(out, text) {
+			continue
+		}
+		out = append(out, value{text: text, canon: canon, weight: 1})
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// person is one author; First is the canonical short form.
+type person struct {
+	First, Last string
+}
+
+// authorValue is a logical author list: the ordered authors of a book.
+// Order is significant — the paper's human denied the group that
+// transposed author order, so order-swapped lists are conflicts.
+type authorValue []person
+
+// canon renders the canonical form: "first last, first last" (the
+// AbeBooks data the paper uses is lowercase; Table 4 shows the format).
+func (a authorValue) canon() string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.First + " " + p.Last
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Author-list rendering formats; each is a variant of the same logical
+// value (Table 4's groups A-E all appear).
+func (a authorValue) inverted(sep string) string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.Last + ", " + p.First
+	}
+	return strings.Join(parts, sep)
+}
+
+func (a authorValue) initials() string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.First[:1] + ". " + p.Last
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (a authorValue) longFirst() (string, bool) {
+	parts := make([]string, len(a))
+	changed := false
+	for i, p := range a {
+		f := p.First
+		if lf, ok := longForm[f]; ok {
+			f = lf
+			changed = true
+		}
+		parts[i] = f + " " + p.Last
+	}
+	return strings.Join(parts, ", "), changed
+}
+
+func (a authorValue) annotated(tag string) string {
+	// Single-author inverted form with a role annotation, as in
+	// Table 4 Group E: "carroll, john (edt)".
+	p := a[0]
+	return p.Last + ", " + p.First + " " + tag
+}
+
+func (a authorValue) joined(sep string) string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.First + " " + p.Last
+	}
+	return strings.Join(parts, sep)
+}
+
+// AuthorList generates the book/author-list dataset: clusters are books
+// (keyed by ISBN) whose records disagree on author-list formatting, with
+// conflicts from order swaps, missing authors and entirely wrong author
+// lists (Table 6: 26.5% variant pairs, 73.5% conflict pairs, avg cluster
+// size 26.9 scaled down).
+func AuthorList(cfg Config) *Generated {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xA17401))
+	numClusters := cfg.clusterCount(60)
+	ds := &tableDataset{name: "AuthorList", attrs: []string{"AuthorList", "Title"}}
+	sources := sellerSources(rng)
+
+	for ci := 0; ci < numClusters; ci++ {
+		authors := randomAuthors(rng)
+		vals := authorVariants(rng, authors)
+		vals = append(vals, authorConflicts(rng, authors)...)
+		size := sampleSize(rng, 3, 26)
+		key := fmt.Sprintf("isbn-%09d", rng.Intn(1_000_000_000))
+		bookTitle := fmt.Sprintf("book %d", ci)
+		ds.addCluster(rng, key, vals, size, sources, authors.canon(), bookTitle)
+	}
+	return ds.finish()
+}
+
+// randomAuthors draws 1-3 distinct authors.
+func randomAuthors(rng *rand.Rand) authorValue {
+	n := 1
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		n = 1
+	case r < 0.80:
+		n = 2
+	default:
+		n = 3
+	}
+	used := map[string]bool{}
+	var out authorValue
+	for len(out) < n {
+		p := person{First: pick(rng, firstNames), Last: pick(rng, lastNames)}
+		key := p.First + "|" + p.Last
+		if used[key] {
+			continue
+		}
+		used[key] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// authorVariants renders the true logical value in the canonical form
+// plus 2-3 sampled variant formats (weights favor the canonical form as
+// the majority, so truth discovery can succeed after standardization).
+func authorVariants(rng *rand.Rand, a authorValue) []value {
+	canon := a.canon()
+	vals := []value{{text: canon, canon: canon, weight: 5}}
+	type fmtFn func() (string, bool)
+	formats := []fmtFn{
+		func() (string, bool) { return a.inverted(" "), true },
+		func() (string, bool) { return a.inverted(""), len(a) > 1 }, // missing-space concat (Group D)
+		func() (string, bool) { return a.initials(), true },
+		func() (string, bool) { return a.longFirst() },
+		func() (string, bool) {
+			return a.annotated(pick(rng, []string{"(edt)", "(author)", "(editor)"})), len(a) == 1
+		},
+		func() (string, bool) { return a.joined(" & "), len(a) > 1 },
+		func() (string, bool) { return a.joined(" and "), len(a) > 1 },
+	}
+	rng.Shuffle(len(formats), func(i, j int) { formats[i], formats[j] = formats[j], formats[i] })
+	want := 2 + rng.Intn(2)
+	for _, f := range formats {
+		if len(vals) >= want+1 {
+			break
+		}
+		text, ok := f()
+		if !ok || text == canon || containsValue(vals, text) {
+			continue
+		}
+		vals = append(vals, value{text: text, canon: canon, weight: 2})
+	}
+	return vals
+}
+
+// authorConflicts adds 2-3 conflicting logical values: an order swap (the
+// group the paper's human denied), a missing author, or a wrong list.
+func authorConflicts(rng *rand.Rand, a authorValue) []value {
+	var out []value
+	add := func(v authorValue) {
+		canon := v.canon()
+		if canon == a.canon() {
+			return
+		}
+		text := canon
+		// Conflicts sometimes arrive in a non-canonical format too.
+		if rng.Float64() < 0.4 {
+			text = v.inverted(" ")
+		}
+		out = append(out, value{text: text, canon: canon, weight: 1})
+	}
+	if len(a) > 1 {
+		swapped := append(authorValue(nil), a...)
+		swapped[0], swapped[1] = swapped[1], swapped[0]
+		add(swapped)
+		if rng.Float64() < 0.7 {
+			add(a[:len(a)-1]) // missing last author
+		}
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		add(randomAuthors(rng))
+	}
+	return out
+}
+
+func containsValue(vals []value, text string) bool {
+	for _, v := range vals {
+		if v.text == text {
+			return true
+		}
+	}
+	return false
+}
+
+func sellerSources(rng *rand.Rand) []string {
+	n := 12 + rng.Intn(8)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("seller-%02d", i)
+	}
+	return out
+}

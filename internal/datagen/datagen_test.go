@@ -1,0 +1,251 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/goldrec/goldrec/internal/metrics"
+	"github.com/goldrec/goldrec/table"
+)
+
+func allGenerators() map[string]func(Config) *Generated {
+	return map[string]func(Config) *Generated{
+		"AuthorList":   AuthorList,
+		"Address":      Address,
+		"JournalTitle": JournalTitle,
+	}
+}
+
+func TestGeneratorsProduceValidDatasets(t *testing.T) {
+	for name, gen := range allGenerators() {
+		t.Run(name, func(t *testing.T) {
+			g := gen(Config{Seed: 1})
+			if err := g.Data.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Data.NumRecords() == 0 {
+				t.Fatal("no records")
+			}
+			// Ground truth is fully populated for the target column.
+			for ci := range g.Data.Clusters {
+				for ri := range g.Data.Clusters[ci].Records {
+					c := table.Cell{Cluster: ci, Row: ri, Col: g.Col}
+					if g.Truth.CanonOf(c) == "" {
+						t.Fatalf("cluster %d row %d: empty canon", ci, ri)
+					}
+				}
+				if g.Truth.GoldenOf(ci, g.Col) == "" {
+					t.Fatalf("cluster %d: empty golden", ci)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, gen := range allGenerators() {
+		t.Run(name, func(t *testing.T) {
+			a := gen(Config{Seed: 7})
+			b := gen(Config{Seed: 7})
+			if a.Data.NumRecords() != b.Data.NumRecords() {
+				t.Fatal("record counts differ across runs with equal seeds")
+			}
+			for ci := range a.Data.Clusters {
+				for ri := range a.Data.Clusters[ci].Records {
+					va := a.Data.Clusters[ci].Records[ri].Values[a.Col]
+					vb := b.Data.Clusters[ci].Records[ri].Values[b.Col]
+					if va != vb {
+						t.Fatalf("cluster %d row %d: %q vs %q", ci, ri, va, vb)
+					}
+				}
+			}
+			c := gen(Config{Seed: 8})
+			if c.Data.Clusters[0].Records[0].Values[0] == a.Data.Clusters[0].Records[0].Values[0] &&
+				c.Data.Clusters[1].Records[0].Values[0] == a.Data.Clusters[1].Records[0].Values[0] {
+				t.Error("different seeds produced identical leading records")
+			}
+		})
+	}
+}
+
+func TestVariantConflictShares(t *testing.T) {
+	// Table 6 shapes: AuthorList 26.5% variant, Address 18%,
+	// JournalTitle 74%. The synthetic generators must land in loose
+	// bands around those targets.
+	cases := []struct {
+		name   string
+		gen    func(Config) *Generated
+		lo, hi float64
+	}{
+		{"AuthorList", AuthorList, 0.15, 0.40},
+		{"Address", Address, 0.08, 0.30},
+		{"JournalTitle", JournalTitle, 0.55, 0.90},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.gen(Config{Seed: 3})
+			sample := metrics.Sample(g.Data, g.Truth, g.Col, 1000, 42)
+			share := metrics.VariantShare(sample)
+			if share < c.lo || share > c.hi {
+				t.Errorf("variant share = %.3f, want in [%.2f, %.2f]", share, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestAuthorListTransformationFamilies(t *testing.T) {
+	g := AuthorList(Config{Seed: 5, Clusters: 200})
+	var invertedSeen, initialsSeen, annotatedSeen, concatSeen bool
+	for ci := range g.Data.Clusters {
+		for _, r := range g.Data.Clusters[ci].Records {
+			v := r.Values[0]
+			if strings.Contains(v, "(edt)") || strings.Contains(v, "(author)") || strings.Contains(v, "(editor)") {
+				annotatedSeen = true
+			}
+			if strings.Contains(v, ". ") {
+				initialsSeen = true
+			}
+			if strings.Contains(v, ", ") && strings.Contains(v, " ") {
+				invertedSeen = true
+			}
+		}
+	}
+	// Missing-space concatenation shows up as "last, firstlast, first".
+	for ci := range g.Data.Clusters {
+		for _, r := range g.Data.Clusters[ci].Records {
+			toks := strings.Split(r.Values[0], ", ")
+			for _, tk := range toks {
+				if len(tk) > 12 && !strings.Contains(tk, " ") && !strings.Contains(tk, "(") {
+					concatSeen = true
+				}
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"inverted": invertedSeen, "initials": initialsSeen,
+		"annotated": annotatedSeen, "concat": concatSeen,
+	} {
+		if !ok {
+			t.Errorf("transformation family %q never generated", name)
+		}
+	}
+}
+
+func TestAddressSaintTrapAndOrdinals(t *testing.T) {
+	g := Address(Config{Seed: 11, Clusters: 400})
+	var saint, saintShort, strippedOrdinal, stateLong bool
+	for ci := range g.Data.Clusters {
+		for _, r := range g.Data.Clusters[ci].Records {
+			v := r.Values[0]
+			if strings.Contains(v, "Saint ") {
+				saint = true
+			}
+			if strings.Contains(v, "St Paul") || strings.Contains(v, "St James") || strings.Contains(v, "St Marks") {
+				saintShort = true
+			}
+			if strings.Contains(v, "Wisconsin") || strings.Contains(v, "California") || strings.Contains(v, "Alabama") {
+				stateLong = true
+			}
+		}
+	}
+	// Stripped ordinals: a bare number followed by a street type.
+	for ci := range g.Data.Clusters {
+		for _, r := range g.Data.Clusters[ci].Records {
+			f := strings.Fields(r.Values[0])
+			if len(f) >= 2 && isDigits(f[0]) && (f[1] == "St" || f[1] == "Street" || f[1] == "Ave" || f[1] == "Avenue") {
+				strippedOrdinal = true
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"saint-long": saint, "saint-short": saintShort,
+		"stripped-ordinal": strippedOrdinal, "state-long": stateLong,
+	} {
+		if !ok {
+			t.Errorf("address family %q never generated", name)
+		}
+	}
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJournalAbbreviations(t *testing.T) {
+	g := JournalTitle(Config{Seed: 13, Clusters: 400})
+	var abbrev, caps bool
+	for ci := range g.Data.Clusters {
+		for _, r := range g.Data.Clusters[ci].Records {
+			v := r.Values[0]
+			if strings.Contains(v, "J. ") || strings.Contains(v, "Int. ") || strings.Contains(v, "Proc. ") {
+				abbrev = true
+			}
+			if v == strings.ToUpper(v) && strings.ContainsAny(v, "ABCDEFGHIJKLMNOPQRSTUVWXYZ") && len(v) > 8 {
+				caps = true
+			}
+		}
+	}
+	if !abbrev {
+		t.Error("journal abbreviation variants never generated")
+	}
+	if !caps {
+		t.Error("all-caps variants never generated")
+	}
+}
+
+func TestClusterSizeShapes(t *testing.T) {
+	// Relative shape of Table 6: AuthorList clusters are the largest on
+	// average, JournalTitle the smallest.
+	al := AuthorList(Config{Seed: 2})
+	ad := Address(Config{Seed: 2})
+	jt := JournalTitle(Config{Seed: 2})
+	_, _, alAvg := al.Data.ClusterSizeStats()
+	_, _, adAvg := ad.Data.ClusterSizeStats()
+	_, _, jtAvg := jt.Data.ClusterSizeStats()
+	if !(alAvg > adAvg && adAvg > jtAvg) {
+		t.Errorf("cluster size ordering: AuthorList %.1f, Address %.1f, JournalTitle %.1f", alAvg, adAvg, jtAvg)
+	}
+	if jtAvg > 4 {
+		t.Errorf("JournalTitle avg %.1f, want small (paper: 1.8)", jtAvg)
+	}
+}
+
+func TestScaleAndClustersConfig(t *testing.T) {
+	small := Address(Config{Seed: 1, Clusters: 20})
+	big := Address(Config{Seed: 1, Clusters: 20, Scale: 3})
+	if got := len(small.Data.Clusters); got != 20 {
+		t.Errorf("clusters = %d, want 20", got)
+	}
+	if got := len(big.Data.Clusters); got != 60 {
+		t.Errorf("scaled clusters = %d, want 60", got)
+	}
+}
+
+func TestCloneIsolatesMutations(t *testing.T) {
+	g := JournalTitle(Config{Seed: 1, Clusters: 10})
+	c := g.Clone()
+	c.Data.SetValue(table.Cell{Cluster: 0, Row: 0, Col: 0}, "MUTATED")
+	if g.Data.Value(table.Cell{Cluster: 0, Row: 0, Col: 0}) == "MUTATED" {
+		t.Error("Clone shares cell storage with the original")
+	}
+}
+
+func TestOrdinalSuffix(t *testing.T) {
+	cases := map[int]string{
+		1: "st", 2: "nd", 3: "rd", 4: "th", 11: "th", 12: "th", 13: "th",
+		21: "st", 22: "nd", 23: "rd", 101: "st", 111: "th",
+	}
+	for n, want := range cases {
+		if got := ordinalSuffix(n); got != want {
+			t.Errorf("ordinalSuffix(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

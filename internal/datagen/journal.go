@@ -1,0 +1,176 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// journalValue is a logical journal title; the canonical rendering is the
+// full title-cased name.
+type journalValue struct {
+	Words []string
+}
+
+func (j journalValue) canon() string { return strings.Join(j.Words, " ") }
+
+// abbreviated renders the standard word-abbreviation form, dropping the
+// stopwords of/the/on (e.g. "Journal of Clinical Medicine" →
+// "J. Clin. Med.").
+func (j journalValue) abbreviated() string {
+	var out []string
+	for _, w := range j.Words {
+		switch strings.ToLower(w) {
+		case "of", "the", "on", "in", "and", "&":
+			continue
+		}
+		if ab, ok := journalAbbrev[w]; ok {
+			out = append(out, ab)
+			continue
+		}
+		out = append(out, w)
+	}
+	return strings.Join(out, " ")
+}
+
+func (j journalValue) allCaps() string { return strings.ToUpper(j.canon()) }
+
+// abbreviatedNoDots is the dot-less abbreviation style some indexes use
+// ("J Clin Med"); the rule-based baseline's dot-anchored rules miss it,
+// while the learned transformations cover it like any other variant.
+func (j journalValue) abbreviatedNoDots() string {
+	return strings.ReplaceAll(j.abbreviated(), ".", "")
+}
+
+// abbreviatedPartial abbreviates only the leading title words and keeps
+// the core spelled out ("J. Machine Learning Research").
+func (j journalValue) abbreviatedPartial() string {
+	var out []string
+	for i, w := range j.Words {
+		if i < 2 {
+			switch strings.ToLower(w) {
+			case "of", "the", "on", "in":
+				continue
+			}
+			if ab, ok := journalAbbrev[w]; ok {
+				out = append(out, ab)
+				continue
+			}
+		}
+		out = append(out, w)
+	}
+	return strings.Join(out, " ")
+}
+
+func (j journalValue) ampersand() (string, bool) {
+	c := j.canon()
+	if !strings.Contains(c, " and ") {
+		return "", false
+	}
+	return strings.Replace(c, " and ", " & ", 1), true
+}
+
+func (j journalValue) thePrefix() string { return "The " + j.canon() }
+
+func (j journalValue) trailingDot() string { return j.canon() + "." }
+
+// JournalTitle generates the scientific-journal dataset: clusters are
+// journals keyed by ISSN; most clusters are small (avg 1.8 in Table 6)
+// and 74% of same-cluster pairs are variants (abbreviations, case,
+// ampersand) with 26% conflicts (ISSN collisions, supplements).
+func JournalTitle(cfg Config) *Generated {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10C4AA1))
+	numClusters := cfg.clusterCount(320)
+	ds := &tableDataset{name: "JournalTitle", attrs: []string{"JournalTitle"}}
+	sources := []string{"crossref", "pubmed", "scopus", "doaj"}
+
+	for ci := 0; ci < numClusters; ci++ {
+		j := randomJournal(rng)
+		var vals []value
+		var size int
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			// Singleton cluster: one record, no pairs (the dominant
+			// cluster shape given avg size 1.8).
+			vals = []value{{text: j.canon(), canon: j.canon(), weight: 1}}
+			size = 1
+		case r < 0.80:
+			// Variant cluster: canonical + 1-2 variants.
+			vals = journalVariants(rng, j)
+			size = len(vals) + rng.Intn(2)
+		case r < 0.97:
+			// Conflict cluster: two different journals under one ISSN.
+			other := randomJournal(rng)
+			for other.canon() == j.canon() {
+				other = randomJournal(rng)
+			}
+			vals = []value{
+				{text: j.canon(), canon: j.canon(), weight: 2},
+				{text: conflictRendering(rng, other), canon: other.canon(), weight: 1},
+			}
+			if rng.Float64() < 0.5 {
+				sup := journalValue{Words: append(append([]string{}, j.Words...), "Supplement")}
+				vals = append(vals, value{text: sup.canon(), canon: sup.canon(), weight: 1})
+			}
+			size = len(vals)
+		default:
+			// Large cluster (the 203-record outlier shape): many
+			// renderings of one journal.
+			vals = journalVariants(rng, j)
+			size = 12 + rng.Intn(20)
+		}
+		key := fmt.Sprintf("issn-%04d-%04d", rng.Intn(10000), rng.Intn(10000))
+		ds.addCluster(rng, key, vals, size, sources, j.canon())
+	}
+	return ds.finish()
+}
+
+func randomJournal(rng *rand.Rand) journalValue {
+	var words []string
+	if rng.Float64() < 0.85 {
+		words = append(words, strings.Fields(pick(rng, journalPrefixes))...)
+	}
+	words = append(words, strings.Fields(pick(rng, journalCores))...)
+	if s := pick(rng, journalSuffixes); s != "" && rng.Float64() < 0.5 {
+		words = append(words, s)
+	}
+	return journalValue{Words: words}
+}
+
+func journalVariants(rng *rand.Rand, j journalValue) []value {
+	canon := j.canon()
+	vals := []value{{text: canon, canon: canon, weight: 4}}
+	type cand struct {
+		text string
+		ok   bool
+	}
+	amp, ampOK := j.ampersand()
+	candidates := []cand{
+		{j.abbreviated(), true},
+		{j.abbreviatedNoDots(), rng.Float64() < 0.5},
+		{j.abbreviatedPartial(), rng.Float64() < 0.4},
+		{j.allCaps(), rng.Float64() < 0.4},
+		{amp, ampOK},
+		{j.thePrefix(), rng.Float64() < 0.3},
+		{j.trailingDot(), rng.Float64() < 0.3},
+	}
+	rng.Shuffle(len(candidates), func(i, k int) { candidates[i], candidates[k] = candidates[k], candidates[i] })
+	want := 1 + rng.Intn(2)
+	for _, c := range candidates {
+		if len(vals) >= want+1 {
+			break
+		}
+		if !c.ok || c.text == canon || containsValue(vals, c.text) {
+			continue
+		}
+		vals = append(vals, value{text: c.text, canon: canon, weight: 2})
+	}
+	return vals
+}
+
+func conflictRendering(rng *rand.Rand, j journalValue) string {
+	if rng.Float64() < 0.4 {
+		return j.abbreviated()
+	}
+	return j.canon()
+}

@@ -1,0 +1,171 @@
+package datagen
+
+// Name pools for the AuthorList generator. First names are the canonical
+// short forms; longForm maps some of them to the long variants that the
+// paper's Group B ("jeffrey"→"jeff", "bobby"→"bob") standardizes.
+var firstNames = []string{
+	"bob", "jeff", "matt", "steve", "ken", "dan", "jon", "mark", "tim",
+	"kip", "tony", "mike", "douglas", "jim", "andreas", "donald", "david",
+	"nils", "thomas", "judith", "margi", "philip", "marilyn", "maria",
+	"john", "chris", "angelika", "klaus", "per", "bruce", "keith", "bill",
+	"henry", "mary", "james", "anna", "laura", "peter", "susan", "carol",
+	"greg", "nancy", "paula", "victor", "wendy", "alan", "diane", "ed",
+	"frank", "gail", "harold", "irene", "joan", "karl", "linda", "martin",
+	"nora", "oscar", "patsy", "quinn", "rachel", "sam", "tina", "ursula",
+}
+
+var longForm = map[string]string{
+	"bob":   "bobby",
+	"jeff":  "jeffrey",
+	"matt":  "matthew",
+	"steve": "steven",
+	"ken":   "kenneth",
+	"dan":   "danny",
+	"jim":   "jimmy",
+	"mike":  "michael",
+	"tim":   "timothy",
+	"bill":  "william",
+	"ed":    "edward",
+	"sam":   "samuel",
+	"tony":  "anthony",
+	"greg":  "gregory",
+	"chris": "christopher",
+}
+
+var lastNames = []string{
+	"fox", "box", "egan", "mather", "irvine", "gaddis", "parr", "bell",
+	"gray", "reuter", "knuth", "hutton", "nilsson", "miller", "bowman",
+	"levy", "powell", "bohl", "rynn", "arthorne", "laffra", "langer",
+	"kreft", "kroll", "macisaac", "carroll", "williams", "brown",
+	"wagner", "lieberman", "lee", "smith", "jones", "taylor", "walker",
+	"young", "allen", "king", "wright", "scott", "green", "baker",
+	"adams", "nelson", "hill", "ramos", "campbell", "mitchell", "roberts",
+	"turner", "phillips", "parker", "evans", "edwards", "collins",
+	"stewart", "sanchez", "morris", "rogers", "reed", "cook", "morgan",
+	"bailey", "rivera", "cooper", "richardson", "cox", "howard", "ward",
+}
+
+// Street-name pool for the Address generator; the "St X" names keep the
+// footnote-1 ambiguity alive ("not all St's are Street; they can also be
+// Saint").
+var namedStreets = []string{
+	"Main", "Oak", "Maple", "Washington", "Park", "Lake", "Hill",
+	"Church", "Elm", "High", "Center", "Union", "River", "Market",
+	"Water", "Spring", "Prospect", "Cedar", "Grove", "Walnut",
+	"St Paul", "St James", "St Marks",
+	"Birch", "Chestnut", "Dogwood", "Franklin", "Garden", "Harbor",
+	"Ivy", "Jefferson", "Kings", "Laurel", "Meadow", "Noble",
+	"Orchard", "Pine", "Quarry", "Ridge", "Sunset", "Terrace",
+	"Valley", "Willow", "Adams", "Bridge", "Canal", "Dover",
+	"Essex", "Forest", "Granite", "Hudson", "Iron", "Juniper",
+	"Knox", "Liberty", "Monroe", "Nassau", "Ocean", "Pearl",
+}
+
+var states = [][2]string{
+	{"Alabama", "AL"}, {"Alaska", "AK"}, {"Arizona", "AZ"},
+	{"Arkansas", "AR"}, {"California", "CA"}, {"Colorado", "CO"},
+	{"Connecticut", "CT"}, {"Delaware", "DE"}, {"Florida", "FL"},
+	{"Georgia", "GA"}, {"Hawaii", "HI"}, {"Idaho", "ID"},
+	{"Illinois", "IL"}, {"Indiana", "IN"}, {"Iowa", "IA"},
+	{"Kansas", "KS"}, {"Kentucky", "KY"}, {"Louisiana", "LA"},
+	{"Maine", "ME"}, {"Maryland", "MD"}, {"Massachusetts", "MA"},
+	{"Michigan", "MI"}, {"Minnesota", "MN"}, {"Mississippi", "MS"},
+	{"Missouri", "MO"}, {"Montana", "MT"}, {"Nebraska", "NE"},
+	{"Nevada", "NV"}, {"New York", "NY"}, {"Ohio", "OH"}, {"Oklahoma", "OK"},
+	{"Oregon", "OR"}, {"Pennsylvania", "PA"}, {"Texas", "TX"},
+	{"Utah", "UT"}, {"Vermont", "VT"}, {"Virginia", "VA"},
+	{"Washington", "WA"}, {"Wisconsin", "WI"}, {"Wyoming", "WY"},
+}
+
+// streetTypes maps the full street type to its abbreviation.
+var streetTypes = [][2]string{
+	{"Street", "St"}, {"Avenue", "Ave"}, {"Road", "Rd"},
+	{"Boulevard", "Blvd"}, {"Drive", "Dr"}, {"Lane", "Ln"},
+}
+
+// directions maps the abbreviated (canonical, per Table 2's golden
+// record "3rd E Avenue") direction to the spelled-out variant.
+var directions = [][2]string{
+	{"E", "East"}, {"W", "West"}, {"N", "North"}, {"S", "South"},
+}
+
+// Journal vocabulary with the standard word abbreviations used by the
+// JournalTitle generator.
+var journalPrefixes = []string{
+	"Journal of", "International Journal of", "Proceedings of the",
+	"Annals of", "Transactions on", "Archives of", "Reviews in",
+}
+
+var journalCores = []string{
+	"Machine Learning", "Clinical Medicine", "Applied Physics",
+	"Organic Chemistry", "Molecular Biology", "Data Engineering",
+	"Cognitive Science", "Public Health", "Materials Science",
+	"Theoretical Statistics", "Marine Ecology", "Quantum Computing",
+	"Neural Computation", "Plant Pathology", "Economic Policy",
+	"Software Engineering", "Environmental Science", "Human Genetics",
+	"Computational Linguistics", "Structural Engineering",
+	"Science and Technology", "Medicine and Surgery",
+}
+
+var journalSuffixes = []string{"", "", "Research", "Letters", "Reviews"}
+
+var journalAbbrev = map[string]string{
+	"Journal":       "J.",
+	"International": "Int.",
+	"Proceedings":   "Proc.",
+	"Transactions":  "Trans.",
+	"Annals":        "Ann.",
+	"Archives":      "Arch.",
+	"Reviews":       "Rev.",
+	"Machine":       "Mach.",
+	"Learning":      "Learn.",
+	"Clinical":      "Clin.",
+	"Medicine":      "Med.",
+	"Applied":       "Appl.",
+	"Physics":       "Phys.",
+	"Organic":       "Org.",
+	"Chemistry":     "Chem.",
+	"Molecular":     "Mol.",
+	"Biology":       "Biol.",
+	"Data":          "Data",
+	"Engineering":   "Eng.",
+	"Cognitive":     "Cogn.",
+	"Science":       "Sci.",
+	"Public":        "Public",
+	"Health":        "Health",
+	"Materials":     "Mater.",
+	"Theoretical":   "Theor.",
+	"Statistics":    "Stat.",
+	"Marine":        "Mar.",
+	"Ecology":       "Ecol.",
+	"Quantum":       "Quantum",
+	"Computing":     "Comput.",
+	"Neural":        "Neural",
+	"Computation":   "Comput.",
+	"Plant":         "Plant",
+	"Pathology":     "Pathol.",
+	"Economic":      "Econ.",
+	"Policy":        "Policy",
+	"Software":      "Softw.",
+	"Environmental": "Environ.",
+	"Genetics":      "Genet.",
+	"Human":         "Hum.",
+	"Computational": "Comput.",
+	"Linguistics":   "Linguist.",
+	"Structural":    "Struct.",
+	"Technology":    "Technol.",
+	"Research":      "Res.",
+	"Letters":       "Lett.",
+	"Surgery":       "Surg.",
+}
+
+// stateNY indexes New York in states (the dominant state of the NYC
+// discretionary-funding dataset).
+var stateNY = func() int {
+	for i, s := range states {
+		if s[1] == "NY" {
+			return i
+		}
+	}
+	panic("datagen: NY missing from states")
+}()

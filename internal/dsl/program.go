@@ -1,0 +1,128 @@
+package dsl
+
+import "strings"
+
+// Program is a transformation program ρ := f1 ⊕ f2 ⊕ ... ⊕ fn
+// (Definition 5): given an input string, it outputs the concatenation of
+// the outputs of its string functions.
+type Program []Func
+
+// Deterministic reports whether every function in the program has a
+// single output (no affix functions), in which case Run is applicable.
+func (p Program) Deterministic() bool {
+	for _, f := range p {
+		if _, ok := f.(Deterministic); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Run evaluates a deterministic program on s. It returns ok=false when
+// the program contains an affix function or any function is undefined on
+// s.
+func (p Program) Run(s string) (string, bool) {
+	rs := []rune(s)
+	var b strings.Builder
+	for _, f := range p {
+		d, ok := f.(Deterministic)
+		if !ok {
+			return "", false
+		}
+		out, ok := d.Eval(rs)
+		if !ok {
+			return "", false
+		}
+		b.WriteString(out)
+	}
+	return b.String(), true
+}
+
+// Consistent reports whether the program can transform s into t, i.e.
+// whether some choice of outputs of its (possibly nondeterministic affix)
+// functions concatenates to exactly t. This is the paper's "ρ is
+// consistent with the replacement s→t" (Section 4.1), generalized to the
+// affix extension: a breadth-first search over reachable split positions
+// of t.
+func (p Program) Consistent(s, t string) bool {
+	rs, rt := []rune(s), []rune(t)
+	// reachable[i] is true when t[0:i] can be produced by a prefix of
+	// the program; process functions one at a time.
+	cur := make([]bool, len(rt)+1)
+	cur[0] = true
+	next := make([]bool, len(rt)+1)
+	for _, f := range p {
+		for i := range next {
+			next[i] = false
+		}
+		any := false
+		switch fn := f.(type) {
+		case Deterministic:
+			out, ok := fn.Eval(rs)
+			if !ok {
+				return false
+			}
+			or := []rune(out)
+			for i := 0; i+len(or) <= len(rt); i++ {
+				if cur[i] && runesEqual(rt[i:i+len(or)], or) {
+					next[i+len(or)] = true
+					any = true
+				}
+			}
+		default:
+			// Affix functions: try every possible output length.
+			maxLen := 0
+			switch af := f.(type) {
+			case Prefix:
+				maxLen = af.MaxLen(rs)
+			case Suffix:
+				maxLen = af.MaxLen(rs)
+			}
+			for i := 0; i <= len(rt); i++ {
+				if !cur[i] {
+					continue
+				}
+				for n := 1; n <= maxLen && i+n <= len(rt); n++ {
+					if next[i+n] {
+						continue
+					}
+					if f.Produces(rs, rt[i:i+n]) {
+						next[i+n] = true
+						any = true
+					}
+				}
+			}
+		}
+		if !any {
+			return false
+		}
+		cur, next = next, cur
+	}
+	return cur[len(rt)]
+}
+
+// String renders the program in the paper's ⊕ notation.
+func (p Program) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(p))
+	for i, f := range p {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " ⊕ ")
+}
+
+// Key returns the canonical key of the program: the concatenation of its
+// function keys. Two programs are the same path iff their keys are equal
+// (footnote 3 in the paper).
+func (p Program) Key() string {
+	var b []byte
+	for i, f := range p {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = f.AppendKey(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,139 @@
+// Package dsl implements the string-transformation domain-specific
+// language of Gulwani (POPL'11) as adopted and extended by the paper:
+// position functions (ConstPos, MatchPos), string functions (ConstantStr,
+// SubStr) and the affix extension (Prefix, Suffix) of Section 7.3 /
+// Appendix D.
+//
+// Strings are treated as rune sequences with the paper's 1-based,
+// half-open position convention: a string s of length n has positions
+// 1..n+1, and s[i,j) denotes the substring starting at position i and
+// ending just before position j.
+package dsl
+
+import "unicode"
+
+// Term is one of the pre-defined regular-expression character classes the
+// DSL matches against (Section 7.2 and Appendix B). The paper's core set
+// is {TC, Tl, Td, Tb}; Tp (punctuation/other runs) appears in Figure 5 as
+// the "punctuation regex" and is included here as a first-class term.
+type Term uint8
+
+const (
+	// TermCapital is TC = [A-Z]+.
+	TermCapital Term = iota
+	// TermLower is Tl = [a-z]+.
+	TermLower
+	// TermDigit is Td = [0-9]+.
+	TermDigit
+	// TermSpace is Tb = \s+.
+	TermSpace
+	// TermPunct is Tp, maximal runs of characters not covered by the
+	// other four classes (punctuation and symbols).
+	TermPunct
+
+	numTerms = 5
+)
+
+// NumTerms is the number of regex-based terms.
+const NumTerms = int(numTerms)
+
+// termNames uses the paper's subscripted names.
+var termNames = [numTerms]string{"TC", "Tl", "Td", "Tb", "Tp"}
+
+func (t Term) String() string {
+	if int(t) < len(termNames) {
+		return termNames[t]
+	}
+	return "T?"
+}
+
+// Sig returns the single-character signature code used by structure
+// signatures (package structure prints them as e.g. "Cl,bCl").
+func (t Term) Sig() byte {
+	switch t {
+	case TermCapital:
+		return 'C'
+	case TermLower:
+		return 'l'
+	case TermDigit:
+		return 'd'
+	case TermSpace:
+		return 'b'
+	default:
+		return 'p'
+	}
+}
+
+// MatchRune reports whether r belongs to the term's character class.
+func (t Term) MatchRune(r rune) bool {
+	switch t {
+	case TermCapital:
+		return r >= 'A' && r <= 'Z'
+	case TermLower:
+		return r >= 'a' && r <= 'z'
+	case TermDigit:
+		return r >= '0' && r <= '9'
+	case TermSpace:
+		return unicode.IsSpace(r)
+	case TermPunct:
+		return !(r >= 'A' && r <= 'Z') && !(r >= 'a' && r <= 'z') &&
+			!(r >= '0' && r <= '9') && !unicode.IsSpace(r)
+	}
+	return false
+}
+
+// ClassOf returns the term class a rune belongs to. Every rune belongs to
+// exactly one class (TermPunct is the catch-all), which is the property
+// Section 7.2 relies on for unique structure signatures.
+func ClassOf(r rune) Term {
+	switch {
+	case r >= 'A' && r <= 'Z':
+		return TermCapital
+	case r >= 'a' && r <= 'z':
+		return TermLower
+	case r >= '0' && r <= '9':
+		return TermDigit
+	case unicode.IsSpace(r):
+		return TermSpace
+	default:
+		return TermPunct
+	}
+}
+
+// Span is a half-open [Beg,End) range of 1-based positions.
+type Span struct {
+	Beg, End int
+}
+
+// Len returns the number of runes the span covers.
+func (sp Span) Len() int { return sp.End - sp.Beg }
+
+// Matches returns the maximal runs of term t in s as 1-based spans, in
+// left-to-right order. A maximal run is a longest substring whose runes
+// all belong to t's class.
+func Matches(s []rune, t Term) []Span {
+	var out []Span
+	i := 0
+	for i < len(s) {
+		if !t.MatchRune(s[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && t.MatchRune(s[j]) {
+			j++
+		}
+		out = append(out, Span{Beg: i + 1, End: j + 1})
+		i = j
+	}
+	return out
+}
+
+// AllMatches returns Matches for every term at once, indexed by Term.
+func AllMatches(s []rune) [numTerms][]Span {
+	var out [numTerms][]Span
+	for t := Term(0); t < numTerms; t++ {
+		out[t] = Matches(s, t)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package dsl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermMatchRune(t *testing.T) {
+	cases := []struct {
+		term Term
+		yes  []rune
+		no   []rune
+	}{
+		{TermCapital, []rune{'A', 'Z', 'M'}, []rune{'a', '0', ' ', '.'}},
+		{TermLower, []rune{'a', 'z', 'm'}, []rune{'A', '0', ' ', ','}},
+		{TermDigit, []rune{'0', '9', '5'}, []rune{'a', 'A', ' ', '-'}},
+		{TermSpace, []rune{' ', '\t', '\n'}, []rune{'a', 'A', '0', '_'}},
+		{TermPunct, []rune{'.', ',', '-', '(', '&'}, []rune{'a', 'A', '0', ' '}},
+	}
+	for _, c := range cases {
+		for _, r := range c.yes {
+			if !c.term.MatchRune(r) {
+				t.Errorf("%v.MatchRune(%q) = false, want true", c.term, r)
+			}
+		}
+		for _, r := range c.no {
+			if c.term.MatchRune(r) {
+				t.Errorf("%v.MatchRune(%q) = true, want false", c.term, r)
+			}
+		}
+	}
+}
+
+func TestClassOfPartitionsRunes(t *testing.T) {
+	// Every rune belongs to exactly one class (Section 7.2 relies on
+	// this for unique structure signatures).
+	for r := rune(1); r < 1000; r++ {
+		cls := ClassOf(r)
+		count := 0
+		for term := Term(0); term < numTerms; term++ {
+			if term.MatchRune(r) {
+				count++
+				if term != cls {
+					t.Fatalf("rune %q matched %v but ClassOf is %v", r, term, cls)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("rune %q belongs to %d classes, want 1", r, count)
+		}
+	}
+}
+
+func TestMatchesLeeMary(t *testing.T) {
+	// "Lee, Mary": TC matches "L"[1,2) and "M"[6,7); Tl matches
+	// "ee"[2,4) and "ary"[7,10); Tb matches " "[5,6); Tp matches ","[4,5).
+	s := []rune("Lee, Mary")
+	check := func(term Term, want []Span) {
+		t.Helper()
+		got := Matches(s, term)
+		if len(got) != len(want) {
+			t.Fatalf("Matches(%v): got %v, want %v", term, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Matches(%v)[%d]: got %v, want %v", term, i, got[i], want[i])
+			}
+		}
+	}
+	check(TermCapital, []Span{{1, 2}, {6, 7}})
+	check(TermLower, []Span{{2, 4}, {7, 10}})
+	check(TermSpace, []Span{{5, 6}})
+	check(TermPunct, []Span{{4, 5}})
+	check(TermDigit, nil)
+}
+
+func TestMatchesEmptyAndSingle(t *testing.T) {
+	if got := Matches(nil, TermLower); got != nil {
+		t.Errorf("Matches(nil) = %v, want nil", got)
+	}
+	got := Matches([]rune("a"), TermLower)
+	if len(got) != 1 || got[0] != (Span{1, 2}) {
+		t.Errorf("Matches(\"a\") = %v, want [{1 2}]", got)
+	}
+}
+
+// randomASCII generates strings from a small alphabet that exercises all
+// five classes.
+func randomASCII(r *rand.Rand, n int) []rune {
+	alphabet := []rune("abzABZ019 .,-")
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}
+
+func TestMatchesPropertyMaximalAndDisjoint(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomASCII(r, int(n%40))
+		for term := Term(0); term < numTerms; term++ {
+			spans := Matches(s, term)
+			prevEnd := 0
+			for _, sp := range spans {
+				if sp.Beg <= prevEnd || sp.End <= sp.Beg || sp.End > len(s)+1 {
+					return false
+				}
+				// All runes inside must match; runes adjacent must not
+				// (maximality).
+				for i := sp.Beg; i < sp.End; i++ {
+					if !term.MatchRune(s[i-1]) {
+						return false
+					}
+				}
+				if sp.Beg > 1 && term.MatchRune(s[sp.Beg-2]) {
+					return false
+				}
+				if sp.End <= len(s) && term.MatchRune(s[sp.End-1]) {
+					return false
+				}
+				prevEnd = sp.End
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllMatchesAgreesWithMatches(t *testing.T) {
+	s := []rune("Ab3 ,x")
+	all := AllMatches(s)
+	for term := Term(0); term < numTerms; term++ {
+		want := Matches(s, term)
+		got := all[term]
+		if len(got) != len(want) {
+			t.Fatalf("AllMatches[%v] = %v, want %v", term, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AllMatches[%v][%d] = %v, want %v", term, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package er is a small entity-resolution substrate: the paper's input —
+// "a collection of clusters of duplicate records" — is produced by an
+// upstream entity-resolution step (Tamr, Magellan, DataCivilizer are
+// cited). This package provides the standard baseline pipeline so the
+// library can also consume *unclustered* records: blocking on a key
+// function, token-based similarity join within blocks, and union-find
+// clustering of the match graph.
+package er
+
+import (
+	"sort"
+	"strings"
+)
+
+// Record is an unclustered input record.
+type Record struct {
+	// Source and Values mirror table.Record.
+	Source string
+	Values []string
+}
+
+// Options tune the resolution pipeline.
+type Options struct {
+	// KeyCol, when ≥ 0, clusters records by exact equality of that
+	// column (the paper's datasets cluster by ISBN/ISSN/EIN). When
+	// KeyCol < 0, similarity matching over MatchCol is used instead.
+	KeyCol int
+	// MatchCol is the column compared by similarity when KeyCol < 0.
+	MatchCol int
+	// Threshold is the minimum Jaccard token similarity for a match
+	// (default 0.6).
+	Threshold float64
+	// BlockPrefix blocks candidate pairs by the lowercase first token's
+	// prefix of this length (default 1; 0 disables blocking — all pairs
+	// are compared, quadratic).
+	BlockPrefix int
+}
+
+// Cluster is a set of indexes into the input record slice.
+type Cluster []int
+
+// Resolve groups records into clusters of likely duplicates.
+func Resolve(records []Record, opts Options) []Cluster {
+	if opts.KeyCol >= 0 {
+		return resolveByKey(records, opts.KeyCol)
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.6
+	}
+	if opts.BlockPrefix == 0 {
+		opts.BlockPrefix = 1
+	}
+	return resolveBySimilarity(records, opts)
+}
+
+func resolveByKey(records []Record, col int) []Cluster {
+	byKey := make(map[string][]int)
+	var order []string
+	for i, r := range records {
+		k := ""
+		if col < len(r.Values) {
+			k = r.Values[col]
+		}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([]Cluster, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+func resolveBySimilarity(records []Record, opts Options) []Cluster {
+	uf := newUnionFind(len(records))
+	blocks := make(map[string][]int)
+	for i, r := range records {
+		blocks[blockKey(value(r, opts.MatchCol), opts.BlockPrefix)] = append(
+			blocks[blockKey(value(r, opts.MatchCol), opts.BlockPrefix)], i)
+	}
+	for _, ids := range blocks {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a := value(records[ids[x]], opts.MatchCol)
+				b := value(records[ids[y]], opts.MatchCol)
+				if Jaccard(Tokens(a), Tokens(b)) >= opts.Threshold {
+					uf.union(ids[x], ids[y])
+				}
+			}
+		}
+	}
+	return uf.clusters()
+}
+
+func value(r Record, col int) string {
+	if col < len(r.Values) {
+		return r.Values[col]
+	}
+	return ""
+}
+
+// blockKey returns the blocking key: the lowercase prefix of the first
+// token ("" blocks everything together when prefix < 0).
+func blockKey(v string, prefix int) string {
+	if prefix < 0 {
+		return ""
+	}
+	toks := strings.Fields(strings.ToLower(v))
+	if len(toks) == 0 {
+		return ""
+	}
+	t := toks[0]
+	if len(t) > prefix {
+		t = t[:prefix]
+	}
+	return t
+}
+
+// Tokens returns the lowercase whitespace tokens of a value as a set.
+func Tokens(v string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, t := range strings.Fields(strings.ToLower(v)) {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// Jaccard computes |a∩b| / |a∪b| over token sets (1 for two empty sets).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// unionFind is a standard disjoint-set forest with path compression.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// clusters returns the components, each sorted, ordered by smallest
+// member.
+func (uf *unionFind) clusters() []Cluster {
+	byRoot := make(map[int][]int)
+	for i := range uf.parent {
+		r := uf.find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([]Cluster, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

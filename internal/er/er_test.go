@@ -1,0 +1,161 @@
+package er
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rec(vals ...string) Record { return Record{Values: vals} }
+
+func TestResolveByKey(t *testing.T) {
+	records := []Record{
+		rec("isbn1", "Book A"),
+		rec("isbn2", "Book B"),
+		rec("isbn1", "Book A variant"),
+	}
+	clusters := Resolve(records, Options{KeyCol: 0})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 2 || clusters[0][0] != 0 || clusters[0][1] != 2 {
+		t.Errorf("cluster 0 = %v", clusters[0])
+	}
+}
+
+func TestResolveBySimilarity(t *testing.T) {
+	records := []Record{
+		rec("journal of clinical medicine"),
+		rec("journal of clinical medicine research"),
+		rec("annals of statistics"),
+		rec("journal of marine ecology"),
+	}
+	clusters := Resolve(records, Options{KeyCol: -1, MatchCol: 0, Threshold: 0.6})
+	// Records 0 and 1 share 4 of 5 tokens (J=0.8); the others stand
+	// alone.
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 2 {
+		t.Errorf("cluster 0 = %v", clusters[0])
+	}
+}
+
+func TestBlockingLimitsComparisons(t *testing.T) {
+	// Two identical values in different blocks never match when
+	// blocking is on: the blocking key is the first token's prefix.
+	records := []Record{
+		rec("alpha common tail"),
+		rec("beta common tail"),
+	}
+	clusters := Resolve(records, Options{KeyCol: -1, MatchCol: 0, Threshold: 0.1, BlockPrefix: 1})
+	if len(clusters) != 2 {
+		t.Fatalf("blocked records should not match: %v", clusters)
+	}
+	// Disable blocking: now they match.
+	clusters = Resolve(records, Options{KeyCol: -1, MatchCol: 0, Threshold: 0.1, BlockPrefix: -1})
+	if len(clusters) != 1 {
+		t.Fatalf("unblocked records should match: %v", clusters)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"a b c", "a b c", 1},
+		{"a b", "c d", 0},
+		{"a b c", "a b d", 0.5},
+		{"", "", 1},
+		{"a", "", 0},
+	}
+	for _, c := range cases {
+		got := Jaccard(Tokens(c.a), Tokens(c.b))
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	words := []string{"a", "b", "c", "d", "e"}
+	randVal := func() string {
+		n := rng.Intn(4)
+		out := ""
+		for i := 0; i < n; i++ {
+			out += words[rng.Intn(len(words))] + " "
+		}
+		return out
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randVal(), randVal()
+		ja := Jaccard(Tokens(a), Tokens(b))
+		jb := Jaccard(Tokens(b), Tokens(a))
+		if ja != jb {
+			t.Fatalf("Jaccard not symmetric for %q, %q", a, b)
+		}
+		if ja < 0 || ja > 1 {
+			t.Fatalf("Jaccard out of range: %v", ja)
+		}
+	}
+}
+
+func TestUnionFindTransitivity(t *testing.T) {
+	// Matching is transitive through union-find: a~b and b~c put a,c
+	// in one cluster even if a,c don't match directly.
+	records := []Record{
+		rec("alpha one two three four"),
+		rec("alpha one two three五 four five"), // bridges 0 and 2
+		rec("alpha one two five six"),
+	}
+	// Manually drive the union-find.
+	uf := newUnionFind(3)
+	uf.union(0, 1)
+	uf.union(1, 2)
+	cl := uf.clusters()
+	if len(cl) != 1 || len(cl[0]) != 3 {
+		t.Fatalf("clusters = %v", cl)
+	}
+	_ = records
+}
+
+func TestUnionFindManyComponents(t *testing.T) {
+	uf := newUnionFind(100)
+	for i := 0; i < 100; i += 2 {
+		uf.union(i, (i+1)%100)
+	}
+	cl := uf.clusters()
+	total := 0
+	for _, c := range cl {
+		total += len(c)
+	}
+	if total != 100 {
+		t.Fatalf("clusters cover %d records", total)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	var records []Record
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		records = append(records, rec(fmt.Sprintf("title %d common words", rng.Intn(10))))
+	}
+	a := Resolve(records, Options{KeyCol: -1, MatchCol: 0, Threshold: 0.7})
+	b := Resolve(records, Options{KeyCol: -1, MatchCol: 0, Threshold: 0.7})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic clusters")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic members")
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/goldrec/goldrec/internal/datagen"
+)
+
+// tinyCfg keeps experiment tests fast. The datasets are small but not
+// minuscule: the paper's method needs transformations that recur across
+// clusters to outrank the cluster-bounded junk groups the human rejects.
+func tinyCfg() Config {
+	return Config{Seed: 1, Budget: 40, Step: 10, SampleN: 400}
+}
+
+func tinyAddress() *datagen.Generated {
+	return datagen.Address(datagen.Config{Seed: 1, Clusters: 60})
+}
+
+func tinyJournal() *datagen.Generated {
+	return datagen.JournalTitle(datagen.Config{Seed: 1, Clusters: 120})
+}
+
+func tinyAuthors() *datagen.Generated {
+	return datagen.AuthorList(datagen.Config{Seed: 1, Clusters: 12})
+}
+
+func lastOf(r StandResult) Point { return r.Points[len(r.Points)-1] }
+
+func TestRunStandardizationGroup(t *testing.T) {
+	res := RunStandardization(tinyAddress(), MethodGroup, tinyCfg())
+	if res.Method != MethodGroup || res.Dataset != "Address" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("points = %v", res.Points)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.Confirmed != 0 {
+		t.Errorf("first checkpoint at %d, want 0", first.Confirmed)
+	}
+	if last.Recall <= first.Recall {
+		t.Errorf("recall did not improve: %v → %v", first.Recall, last.Recall)
+	}
+	if last.Precision < 0.9 {
+		t.Errorf("precision = %v, want ≥ 0.9 (paper: ≥ 0.99 at full scale)", last.Precision)
+	}
+	if res.Approved == 0 {
+		t.Error("no groups approved")
+	}
+	// Recall is monotone non-decreasing in the budget.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Recall+1e-9 < res.Points[i-1].Recall {
+			t.Errorf("recall decreased at point %d: %v", i, res.Points)
+		}
+	}
+}
+
+func TestRunStandardizationSingle(t *testing.T) {
+	g := tinyAuthors()
+	cfg := tinyCfg()
+	cfg.Budget = 25
+	group := RunStandardization(g, MethodGroup, cfg)
+	single := RunStandardization(g, MethodSingle, cfg)
+	gl := lastOf(group)
+	sl := lastOf(single)
+	// The paper's headline: batch verification standardizes far more
+	// data than one-by-one verification at the same budget.
+	if sl.Recall >= gl.Recall {
+		t.Errorf("Single recall %v should trail Group recall %v", sl.Recall, gl.Recall)
+	}
+	// Single's per-pair confirmation keeps precision high (the
+	// simulated human is imperfect but close).
+	if sl.Precision < 0.8 {
+		t.Errorf("Single precision = %v, want ≥ 0.8", sl.Precision)
+	}
+}
+
+func TestRunStandardizationTrifacta(t *testing.T) {
+	g := tinyAddress()
+	res := RunStandardization(g, MethodTrifacta, tinyCfg())
+	if len(res.Points) < 2 {
+		t.Fatalf("points = %v", res.Points)
+	}
+	// Flat line: every post-apply checkpoint has the same values.
+	base := res.Points[1]
+	for _, p := range res.Points[2:] {
+		if p.Recall != base.Recall || p.Precision != base.Precision {
+			t.Errorf("Trifacta line not flat: %+v vs %+v", p, base)
+		}
+	}
+	if base.Recall == 0 {
+		t.Error("Trifacta recall is zero; the rule script did nothing")
+	}
+}
+
+func TestGroupBeatsTrifactaOnRecall(t *testing.T) {
+	// The Figures 6-8 headline ordering on the journal dataset, where
+	// the gap is largest in the paper (0.66 vs 0.38 vs 0.12): the
+	// grouped method must beat both baselines.
+	g := tinyJournal()
+	cfg := tinyCfg()
+	group := RunStandardization(g, MethodGroup, cfg)
+	trif := RunStandardization(g, MethodTrifacta, cfg)
+	single := RunStandardization(g, MethodSingle, cfg)
+	gr := lastOf(group).Recall
+	tr := lastOf(trif).Recall
+	sr := lastOf(single).Recall
+	if !(gr > tr && gr > sr) {
+		t.Errorf("recall ordering violated: Group %v, Trifacta %v, Single %v", gr, tr, sr)
+	}
+}
+
+func TestSampleGroupsTable4(t *testing.T) {
+	groups := SampleGroups(tinyAuthors(), 5, 5, tinyCfg())
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5", len(groups))
+	}
+	for i, g := range groups {
+		if g.Size <= 0 || len(g.Members) == 0 || g.Program == "" {
+			t.Errorf("group %d incomplete: %+v", i, g)
+		}
+		if i > 0 && g.Size > groups[i-1].Size {
+			t.Errorf("groups not size-ordered: %d after %d", g.Size, groups[i-1].Size)
+		}
+	}
+}
+
+func TestTable6Stats(t *testing.T) {
+	gens := []*datagen.Generated{tinyAuthors(), tinyAddress(), tinyJournal()}
+	stats := Table6(gens, tinyCfg())
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d rows", len(stats))
+	}
+	for _, s := range stats {
+		if s.DistinctValuePairs == 0 || s.Records == 0 {
+			t.Errorf("%s: empty stats %+v", s.Dataset, s)
+		}
+		if s.VariantShare+s.ConflictShare < 0.999 || s.VariantShare+s.ConflictShare > 1.001 {
+			t.Errorf("%s: shares do not sum to 1: %+v", s.Dataset, s)
+		}
+	}
+	// JournalTitle is the variant-heavy dataset (74% in Table 6).
+	if stats[2].VariantShare <= stats[1].VariantShare {
+		t.Errorf("JournalTitle share %v should exceed Address share %v",
+			stats[2].VariantShare, stats[1].VariantShare)
+	}
+}
+
+func TestTable8Improvement(t *testing.T) {
+	gens := []*datagen.Generated{tinyJournal()}
+	res := Table8(gens, tinyCfg())
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	r := res[0]
+	if r.After <= r.Before {
+		t.Errorf("MC precision did not improve: before %v, after %v", r.Before, r.After)
+	}
+	if r.SampledClusters == 0 {
+		t.Error("no sampled clusters")
+	}
+}
+
+func TestFigure10AffixHelps(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Budget = 40
+	res := Figure10([]*datagen.Generated{tinyAddress()}, cfg)
+	if len(res) != 2 {
+		t.Fatalf("res = %d lines", len(res))
+	}
+	withAffix := res[0].Points[len(res[0].Points)-1].Recall
+	noAffix := res[1].Points[len(res[1].Points)-1].Recall
+	if withAffix < noAffix {
+		t.Errorf("affix recall %v should be ≥ no-affix recall %v", withAffix, noAffix)
+	}
+}
+
+func TestRunGroupingTimeShape(t *testing.T) {
+	// Micro-scale Figure 9: incremental invocations must be far
+	// cheaper than the EarlyTerm upfront cost, which in turn beats the
+	// prune-free OneShot.
+	g := datagen.JournalTitle(datagen.Config{Seed: 2, Clusters: 12})
+	res := RunGroupingTime(g, 3, tinyCfg(), false)
+	if res.Candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	if res.OneShotUpfront < res.EarlyTermUpfront {
+		t.Errorf("OneShot (%v) should not beat EarlyTerm (%v)", res.OneShotUpfront, res.EarlyTermUpfront)
+	}
+	if len(res.IncrementalPerCall) == 0 {
+		t.Fatal("no incremental calls")
+	}
+	if res.IncrementalPerCall[0] > res.EarlyTermUpfront {
+		t.Errorf("first incremental call (%v) should undercut the upfront cost (%v)",
+			res.IncrementalPerCall[0], res.EarlyTermUpfront)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	g := datagen.Address(datagen.Config{Seed: 3, Clusters: 12})
+	cfg := tinyCfg()
+	cfg.Budget = 15
+	res := Ablations(g, cfg)
+	if len(res) != 6 {
+		t.Fatalf("ablations = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Duration <= 0 {
+			t.Errorf("%s: no duration", r.Name)
+		}
+	}
+}
+
+func TestDatasetsHelper(t *testing.T) {
+	gens := Datasets(Config{Seed: 5, Scale: 0.2})
+	if len(gens) != 3 {
+		t.Fatalf("datasets = %d", len(gens))
+	}
+	names := map[string]bool{}
+	for _, g := range gens {
+		names[g.Data.Name] = true
+	}
+	for _, want := range []string{"AuthorList", "Address", "JournalTitle"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"github.com/goldrec/goldrec/internal/core"
+	"github.com/goldrec/goldrec/internal/datagen"
+	"github.com/goldrec/goldrec/internal/metrics"
+	"github.com/goldrec/goldrec/internal/oracle"
+	"github.com/goldrec/goldrec/internal/replace"
+)
+
+// RobustnessResult is one error-rate setting of the imperfect-human
+// experiment ("our method is robust to small numbers of errors as
+// verified in our experiment", Section 1).
+type RobustnessResult struct {
+	ErrorRate float64
+	Flipped   int
+	Precision float64
+	Recall    float64
+	MCC       float64
+}
+
+// Robustness sweeps human error rates for the Group method on one
+// dataset: each reviewed group's decision is flipped with the given
+// probability, and quality is measured against the fixed labeled sample.
+func Robustness(gen *datagen.Generated, rates []float64, cfg Config) []RobustnessResult {
+	var out []RobustnessResult
+	for _, rate := range rates {
+		g := gen.Clone()
+		budget := cfg.budgetFor(g.Data.Name)
+		sample := metrics.Sample(g.Data, g.Truth, g.Col, cfg.sampleN(), cfg.Seed+1)
+		store := replace.NewStore(g.Data, g.Col, replace.Options{TokenLevel: true})
+		cands := store.Candidates()
+		reps := make([]core.Rep, 0, len(cands))
+		for _, c := range cands {
+			reps = append(reps, core.Rep{S: c.LHS, T: c.RHS, Ext: c.ID})
+		}
+		eng := core.NewEngine(reps, cfg.engineOptions())
+		o := oracle.New(g.Data, g.Truth, g.Col, oracle.Options{
+			ErrorRate: rate,
+			ErrorSeed: cfg.Seed,
+		})
+		for confirmed := 0; confirmed < budget; confirmed++ {
+			grp := eng.NextGroup()
+			if grp == nil {
+				break
+			}
+			members := make([]*replace.Candidate, 0, len(grp.Members))
+			for _, m := range grp.Members {
+				members = append(members, store.Candidate(m.Ext))
+			}
+			d := o.VerifyGroup(members)
+			if !d.Approved {
+				continue
+			}
+			for _, cand := range members {
+				target := cand
+				if d.Invert {
+					if target = store.Mirror(cand); target == nil {
+						continue
+					}
+				}
+				r := store.Apply(target)
+				if len(r.Emptied) > 0 {
+					eng.Remove(r.Emptied...)
+				}
+			}
+		}
+		m := metrics.Evaluate(g.Data, sample)
+		out = append(out, RobustnessResult{
+			ErrorRate: rate,
+			Flipped:   o.Flipped,
+			Precision: m.Precision(),
+			Recall:    m.Recall(),
+			MCC:       m.MCC(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestRobustnessToHumanErrors(t *testing.T) {
+	// The paper's robustness claim: a small human error rate must not
+	// collapse quality. With 10% of decisions flipped, precision stays
+	// high and recall stays within reach of the error-free run.
+	g := tinyJournal()
+	cfg := tinyCfg()
+	res := Robustness(g, []float64{0, 0.1}, cfg)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	clean, noisy := res[0], res[1]
+	if clean.Flipped != 0 {
+		t.Errorf("clean run flipped %d decisions", clean.Flipped)
+	}
+	if noisy.Flipped == 0 {
+		t.Errorf("noisy run flipped no decisions")
+	}
+	if noisy.Precision < 0.85 {
+		t.Errorf("precision %v under 10%% errors, want ≥ 0.85", noisy.Precision)
+	}
+	if noisy.Recall < clean.Recall*0.5 {
+		t.Errorf("recall collapsed: clean %v, noisy %v", clean.Recall, noisy.Recall)
+	}
+}
+
+func TestRobustnessDegradesGracefully(t *testing.T) {
+	// Quality is roughly monotone in the error rate; at a absurd 50%
+	// flip rate the run still terminates and reports sane numbers.
+	g := tinyAuthors()
+	cfg := tinyCfg()
+	cfg.Budget = 20
+	res := Robustness(g, []float64{0, 0.5}, cfg)
+	if res[1].Precision < 0 || res[1].Precision > 1 {
+		t.Errorf("precision out of range: %v", res[1].Precision)
+	}
+	if res[1].MCC < -1 || res[1].MCC > 1 {
+		t.Errorf("MCC out of range: %v", res[1].MCC)
+	}
+}

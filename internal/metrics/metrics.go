@@ -1,0 +1,132 @@
+// Package metrics implements the evaluation methodology of Section 8:
+// sample non-identical same-cluster value pairs, label each as a variant
+// pair or a conflict pair against ground truth, and after standardization
+// count the confusion matrix of Table 7 to compute precision, recall and
+// the Matthews correlation coefficient.
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+// SamplePair is one labeled evaluation pair: two cells of the same
+// cluster whose initial values differ. Variant records the ground truth
+// (true = the values are logically the same).
+type SamplePair struct {
+	A, B    table.Cell
+	Variant bool
+}
+
+// Sample draws up to n labeled *distinct value pairs* for the column:
+// every unordered pair of non-identical values co-occurring in a cluster
+// counts once (the paper samples 1000 distinct non-identical value pairs
+// per dataset; Table 6 counts distinct value pairs the same way), and is
+// represented by the first pair of cells that exhibits it. Sampling is
+// deterministic for a given seed.
+func Sample(ds *table.Dataset, tr *table.Truth, col, n int, seed int64) []SamplePair {
+	type valPair struct{ a, b string }
+	seen := make(map[valPair]bool)
+	var pool []SamplePair
+	for ci := range ds.Clusters {
+		recs := ds.Clusters[ci].Records
+		for i := 0; i < len(recs); i++ {
+			for j := i + 1; j < len(recs); j++ {
+				vi, vj := recs[i].Values[col], recs[j].Values[col]
+				if vi == vj || vi == "" || vj == "" {
+					continue
+				}
+				key := valPair{vi, vj}
+				if vi > vj {
+					key = valPair{vj, vi}
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				a := table.Cell{Cluster: ci, Row: i, Col: col}
+				b := table.Cell{Cluster: ci, Row: j, Col: col}
+				pool = append(pool, SamplePair{A: a, B: b, Variant: tr.Variant(a, b)})
+			}
+		}
+	}
+	if len(pool) <= n {
+		return pool
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// Confusion is the Table 7 confusion matrix: variant pairs that became
+// identical are true positives, conflict pairs that became identical are
+// false positives, and so on.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Evaluate classifies every sample pair by whether its two cells now hold
+// identical values.
+func Evaluate(ds *table.Dataset, sample []SamplePair) Confusion {
+	var c Confusion
+	for _, p := range sample {
+		identical := ds.Value(p.A) == ds.Value(p.B)
+		switch {
+		case p.Variant && identical:
+			c.TP++
+		case p.Variant && !identical:
+			c.FN++
+		case !p.Variant && identical:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP); 1 when nothing was made identical (no
+// replacements were applied, so nothing was standardized incorrectly).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN); 0 when the sample has no variant pairs.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// MCC returns the Matthews correlation coefficient in [-1, 1]; 0 when
+// any marginal is zero (the conventional definition).
+func (c Confusion) MCC() float64 {
+	tp, fp, fn, tn := float64(c.TP), float64(c.FP), float64(c.FN), float64(c.TN)
+	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / den
+}
+
+// VariantShare returns the fraction of pairs labeled variant — the
+// "variant value pairs %" row of Table 6 when evaluated on (a sample of)
+// all distinct pairs.
+func VariantShare(sample []SamplePair) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range sample {
+		if p.Variant {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sample))
+}

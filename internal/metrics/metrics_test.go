@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+func buildDataset() (*table.Dataset, *table.Truth) {
+	ds := &table.Dataset{
+		Attrs: []string{"A"},
+		Clusters: []table.Cluster{
+			{Records: []table.Record{
+				{Values: []string{"9 St"}},
+				{Values: []string{"9th St"}},
+				{Values: []string{"somewhere else"}},
+			}},
+			{Records: []table.Record{
+				{Values: []string{"x"}},
+				{Values: []string{"x"}},
+			}},
+		},
+	}
+	tr := table.NewTruth(ds)
+	tr.Canon[0][0][0] = "9th Street"
+	tr.Canon[0][1][0] = "9th Street"
+	tr.Canon[0][2][0] = "Elsewhere Road"
+	tr.Canon[1][0][0] = "x"
+	tr.Canon[1][1][0] = "x"
+	return ds, tr
+}
+
+func TestSampleLabelsPairs(t *testing.T) {
+	ds, tr := buildDataset()
+	pairs := Sample(ds, tr, 0, 100, 1)
+	// Cluster 0 has 3 distinct values → 3 unordered pairs; cluster 1
+	// has identical values → none.
+	if len(pairs) != 3 {
+		t.Fatalf("sample size = %d, want 3", len(pairs))
+	}
+	variants := 0
+	for _, p := range pairs {
+		if p.Variant {
+			variants++
+		}
+	}
+	if variants != 1 {
+		t.Errorf("variant pairs = %d, want 1 (9 St vs 9th St)", variants)
+	}
+}
+
+func TestSampleDeterministicAndBounded(t *testing.T) {
+	ds, tr := buildDataset()
+	a := Sample(ds, tr, 0, 2, 42)
+	b := Sample(ds, tr, 0, 2, 42)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("bounded sample sizes = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	ds, tr := buildDataset()
+	pairs := Sample(ds, tr, 0, 100, 1)
+	// Before any standardization nothing is identical: TP=0, FP=0.
+	c := Evaluate(ds, pairs)
+	if c.TP != 0 || c.FP != 0 || c.FN != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 1 {
+		t.Errorf("precision with no changes = %v, want 1", c.Precision())
+	}
+	if c.Recall() != 0 {
+		t.Errorf("recall = %v, want 0", c.Recall())
+	}
+	// Standardize the variant pair correctly.
+	ds.SetValue(table.Cell{Cluster: 0, Row: 0, Col: 0}, "9th St")
+	c = Evaluate(ds, pairs)
+	if c.TP != 1 || c.FN != 0 {
+		t.Fatalf("confusion after fix = %+v", c)
+	}
+	if c.Recall() != 1 || c.Precision() != 1 {
+		t.Errorf("precision/recall = %v/%v, want 1/1", c.Precision(), c.Recall())
+	}
+	// Now corrupt a conflict pair into identity: a false positive.
+	ds.SetValue(table.Cell{Cluster: 0, Row: 2, Col: 0}, "9th St")
+	c = Evaluate(ds, pairs)
+	if c.FP != 2 {
+		// Both conflict pairs involving row 2 become identical.
+		t.Fatalf("confusion after corruption = %+v", c)
+	}
+	if c.Precision() >= 1 {
+		t.Errorf("precision = %v, want < 1", c.Precision())
+	}
+}
+
+func TestMCCRangeProperty(t *testing.T) {
+	f := func(tp, fp, fn, tn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn), TN: int(tn)}
+		m := c.MCC()
+		return m >= -1-1e-9 && m <= 1+1e-9 && !math.IsNaN(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCCPerfectAndInverse(t *testing.T) {
+	if got := (Confusion{TP: 10, TN: 10}).MCC(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect MCC = %v, want 1", got)
+	}
+	if got := (Confusion{FP: 10, FN: 10}).MCC(); math.Abs(got+1) > 1e-9 {
+		t.Errorf("inverse MCC = %v, want -1", got)
+	}
+	if got := (Confusion{}).MCC(); got != 0 {
+		t.Errorf("empty MCC = %v, want 0", got)
+	}
+}
+
+func TestVariantShare(t *testing.T) {
+	pairs := []SamplePair{{Variant: true}, {Variant: false}, {Variant: true}, {Variant: true}}
+	if got := VariantShare(pairs); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("VariantShare = %v, want 0.75", got)
+	}
+	if got := VariantShare(nil); got != 0 {
+		t.Errorf("VariantShare(nil) = %v, want 0", got)
+	}
+}

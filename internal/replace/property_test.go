@@ -1,0 +1,152 @@
+package replace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+// randomDataset builds clusters over a tiny vocabulary so that values
+// collide across clusters and token alignments stay interesting.
+func randomDataset(rng *rand.Rand) *table.Dataset {
+	words := []string{"9", "9th", "St", "Street", "E", "East", "WI", "Wisconsin"}
+	value := func() string {
+		n := 1 + rng.Intn(3)
+		out := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	ds := &table.Dataset{Attrs: []string{"A"}}
+	clusters := 2 + rng.Intn(4)
+	for ci := 0; ci < clusters; ci++ {
+		var recs []table.Record
+		for ri := 0; ri < 2+rng.Intn(4); ri++ {
+			recs = append(recs, table.Record{Values: []string{value()}})
+		}
+		ds.Clusters = append(ds.Clusters, table.Cluster{Key: fmt.Sprint(ci), Records: recs})
+	}
+	return ds
+}
+
+// siteFingerprint canonically dumps all non-empty replacement sets.
+func siteFingerprint(st *Store) map[string][]string {
+	out := make(map[string][]string)
+	for _, c := range st.Candidates() {
+		if len(c.Sites) == 0 {
+			continue
+		}
+		key := fmt.Sprintf("%q→%q", c.LHS, c.RHS)
+		var sites []string
+		for _, s := range c.Sites {
+			sites = append(sites, fmt.Sprintf("%d/%d@%d-%d/%v",
+				s.Cell.Cluster, s.Cell.Row, s.TokBeg, s.TokEnd, s.Whole))
+		}
+		sort.Strings(sites)
+		out[key] = sites
+	}
+	return out
+}
+
+// TestIncrementalUpdateMatchesRebuild: the Section 7.1 invariant — after
+// any sequence of applications, the incrementally maintained replacement
+// sets equal the sets a fresh store would compute from the current cell
+// values.
+func TestIncrementalUpdateMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		ds := randomDataset(rng)
+		st := NewStore(ds, 0, Options{TokenLevel: true})
+		// Apply a few random live candidates.
+		for step := 0; step < 4; step++ {
+			var live []*Candidate
+			for _, c := range st.Candidates() {
+				if len(c.Sites) > 0 {
+					live = append(live, c)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			st.Apply(live[rng.Intn(len(live))])
+		}
+		fresh := NewStore(ds, 0, Options{TokenLevel: true})
+		got := siteFingerprint(st)
+		want := siteFingerprint(fresh)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d live pairs vs fresh %d", trial, len(got), len(want))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("trial %d: missing pair %s", trial, k)
+			}
+			if len(g) != len(w) {
+				t.Fatalf("trial %d: pair %s has %v, fresh %v", trial, k, g, w)
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("trial %d: pair %s has %v, fresh %v", trial, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyNeverProducesEmptyValues: replacements never write empty cell
+// values (both sides of every candidate are non-empty).
+func TestApplyNeverProducesEmptyValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		ds := randomDataset(rng)
+		st := NewStore(ds, 0, Options{TokenLevel: true})
+		for step := 0; step < 5; step++ {
+			var live []*Candidate
+			for _, c := range st.Candidates() {
+				if len(c.Sites) > 0 {
+					live = append(live, c)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			st.Apply(live[rng.Intn(len(live))])
+		}
+		for ci := range ds.Clusters {
+			for ri, r := range ds.Clusters[ci].Records {
+				if r.Values[0] == "" {
+					t.Fatalf("trial %d: cell %d/%d became empty", trial, ci, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestEqualLengthGapRefinement: the per-position refinement emits
+// single-token pairs for equal-length gaps.
+func TestEqualLengthGapRefinement(t *testing.T) {
+	ds := &table.Dataset{
+		Attrs: []string{"A"},
+		Clusters: []table.Cluster{{Records: []table.Record{
+			{Values: []string{"9th St, 02141"}},
+			{Values: []string{"9 Street, 02141"}},
+		}}},
+	}
+	st := NewStore(ds, 0, Options{TokenLevel: true})
+	if st.Lookup(Pair{"9th", "9"}) == nil {
+		t.Error("missing refined pair 9th→9")
+	}
+	if st.Lookup(Pair{"St,", "Street,"}) == nil {
+		t.Error("missing refined pair St,→Street,")
+	}
+	if st.Lookup(Pair{"9th St,", "9 Street,"}) != nil {
+		t.Error("coarse 2-token pair should have been refined away")
+	}
+}

@@ -1,0 +1,67 @@
+// Package structure implements the replacement-structure refinement of
+// Section 7.2: each side of a replacement is mapped to a sequence of
+// terms — maximal runs of the four regex classes collapse to one term,
+// every other character is a single-character term — and replacements are
+// grouped only when both sides' structures match (Definition 4).
+package structure
+
+import (
+	"strings"
+
+	"github.com/goldrec/goldrec/internal/dsl"
+)
+
+// Signature returns Struc(s): the unique character-class decomposition of
+// s. Runs of digits, lowercase, capitals and whitespace collapse to the
+// codes 'd', 'l', 'C', 'b'; any other character is emitted literally as a
+// single-character term (escaped so that signatures stay unambiguous).
+func Signature(s string) string {
+	var b strings.Builder
+	var prev dsl.Term
+	prevSet := false
+	for _, r := range s {
+		cls := dsl.ClassOf(r)
+		if cls == dsl.TermPunct {
+			// Single-character term: escape the escape and class codes
+			// so "d" the literal never collides with a digit run.
+			b.WriteByte('\\')
+			b.WriteRune(r)
+			prevSet = false
+			continue
+		}
+		if prevSet && cls == prev {
+			continue
+		}
+		b.WriteByte(cls.Sig())
+		prev, prevSet = cls, true
+	}
+	return b.String()
+}
+
+// PairSignature returns the structure of a replacement lhs→rhs
+// (Definition 4: two replacements are structurally equivalent iff both
+// sides' signatures match).
+func PairSignature(lhs, rhs string) string {
+	return Signature(lhs) + "\x00" + Signature(rhs)
+}
+
+// Partition groups the indexes 0..n-1 by the signature that sigOf
+// reports, preserving first-seen order of groups and index order within a
+// group. It is the first-phase partition of Section 7.2 that the
+// transformation-based grouping then refines.
+func Partition(n int, sigOf func(int) string) [][]int {
+	order := make([]string, 0)
+	bySig := make(map[string][]int)
+	for i := 0; i < n; i++ {
+		sig := sigOf(i)
+		if _, ok := bySig[sig]; !ok {
+			order = append(order, sig)
+		}
+		bySig[sig] = append(bySig[sig], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, sig := range order {
+		out = append(out, bySig[sig])
+	}
+	return out
+}

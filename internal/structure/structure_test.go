@@ -1,0 +1,115 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignaturePaperExamples(t *testing.T) {
+	// Section 7.2: Struc("9") = Td and Struc("9th") = TdTl, so
+	// 9→9th and 3→3rd share the structure Td→TdTl.
+	cases := []struct {
+		in, want string
+	}{
+		{"9", "d"},
+		{"9th", "dl"},
+		{"3rd", "dl"},
+		{"", ""},
+		{"Lee, Mary", `Cl\,bCl`},
+		{"M. Lee", `C\.bCl`},
+		{"  ", "b"},
+		{"a-b", `l\-l`},
+		{"ABc12", "Cld"},
+	}
+	for _, c := range cases {
+		if got := Signature(c.in); got != c.want {
+			t.Errorf("Signature(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPairSignatureEquivalence(t *testing.T) {
+	// 9→9th and 3→3rd are structurally equivalent (Section 7.2).
+	if PairSignature("9", "9th") != PairSignature("3", "3rd") {
+		t.Error("9→9th and 3→3rd should be structurally equivalent")
+	}
+	// Street→St and Avenue→Ave are structurally equivalent.
+	if PairSignature("Street", "St") != PairSignature("Avenue", "Ave") {
+		t.Error("Street→St and Avenue→Ave should be structurally equivalent")
+	}
+	// Direction matters.
+	if PairSignature("9", "9th") == PairSignature("9th", "9") {
+		t.Error("pair signatures must be direction sensitive")
+	}
+	// "Wisconsin"→"WI" vs "California"→"CA": both lC→C... wait,
+	// Wisconsin is C+l, WI is C run.
+	if PairSignature("Wisconsin", "WI") != PairSignature("California", "CA") {
+		t.Error("state abbreviations should be structurally equivalent")
+	}
+}
+
+func TestSignatureEscaping(t *testing.T) {
+	// A literal 'd' character never appears (lowercase 'd' is part of
+	// an 'l' run), but literal punctuation that collides with class
+	// codes must be escaped.
+	if Signature("5") == Signature(".") {
+		t.Error("digit run and literal '.' must differ")
+	}
+	if Signature("\\") != `\\` {
+		t.Errorf("backslash should be escaped, got %q", Signature("\\"))
+	}
+	if Signature("a.b") == Signature("ab.") {
+		t.Error("punctuation position must be significant")
+	}
+}
+
+func TestSignatureDeterministicAndIdempotentClasses(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		alphabet := []rune("abAB01 .,-x9Z")
+		s := make([]rune, int(n%25))
+		for i := range s {
+			s[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		sig := Signature(string(s))
+		// Signature is stable and strings with identical rune-class run
+		// sequences share it: doubling every run member preserves it.
+		var doubled []rune
+		for _, c := range s {
+			doubled = append(doubled, c)
+			if c != '.' && c != ',' && c != '-' { // single-char terms must not double
+				doubled = append(doubled, c)
+			}
+		}
+		return Signature(string(doubled)) == sig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	sigs := []string{"a", "b", "a", "c", "b", "a"}
+	groups := Partition(len(sigs), func(i int) string { return sigs[i] })
+	want := [][]int{{0, 2, 5}, {1, 4}, {3}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v", groups)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if groups := Partition(0, func(int) string { return "" }); len(groups) != 0 {
+		t.Errorf("empty partition = %v", groups)
+	}
+}

@@ -1,0 +1,36 @@
+package tgraph
+
+import "testing"
+
+func benchBuild(b *testing.B, s, t string, opt Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry()
+		g := Build(s, t, reg, opt)
+		if g == nil {
+			b.Fatal("nil graph")
+		}
+	}
+}
+
+func BenchmarkBuildShortToken(b *testing.B) {
+	benchBuild(b, "Wisconsin", "WI", Options{})
+}
+
+func BenchmarkBuildNameTranspose(b *testing.B) {
+	benchBuild(b, "Smith, James", "James Smith", Options{})
+}
+
+func BenchmarkBuildLongAddress(b *testing.B) {
+	benchBuild(b, "1289 E Maple Boulevard Suite 12, 02141 Massachusetts",
+		"1289th E Maple Blvd Ste 12, 02141 MA", Options{})
+}
+
+func BenchmarkBuildMinimalSubStr(b *testing.B) {
+	benchBuild(b, "Smith, James", "James Smith", Options{MinimalSubStr: true})
+}
+
+func BenchmarkBuildNoAffix(b *testing.B) {
+	benchBuild(b, "Smith, James", "James Smith", Options{NoAffix: true})
+}

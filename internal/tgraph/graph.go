@@ -1,0 +1,427 @@
+package tgraph
+
+import (
+	"sort"
+
+	"github.com/goldrec/goldrec/internal/dsl"
+)
+
+// Edge is one edge of a transformation graph: it spans t[i,j) where i is
+// implied by its position in Graph.Adj and j = To, and carries the
+// interned string functions that output t[i,j) on s.
+type Edge struct {
+	To     int
+	Labels []LabelID
+}
+
+// Graph is the transformation graph of one replacement s→t. Nodes are
+// numbered 1..|t|+1; Adj[i] lists outgoing edges of node i sorted by To.
+type Graph struct {
+	ID   int // index of the replacement within its grouping context
+	S, T string
+	N    int // number of nodes, |t|+1
+	Adj  [][]Edge
+}
+
+// FinalNode returns |t|+1, the node a spanning (transformation) path must
+// reach.
+func (g *Graph) FinalNode() int { return g.N }
+
+// NumEdges counts edges with at least one label.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for i := 1; i < len(g.Adj); i++ {
+		n += len(g.Adj[i])
+	}
+	return n
+}
+
+// NumLabels counts the total label occurrences across edges.
+func (g *Graph) NumLabels() int {
+	n := 0
+	for i := 1; i < len(g.Adj); i++ {
+		for _, e := range g.Adj[i] {
+			n += len(e.Labels)
+		}
+	}
+	return n
+}
+
+// Options control graph construction. The zero value is a conservative
+// default: affix labels on, punctuation term on, no constant-string
+// position terms, no constant scoring (keep all constants), max string
+// length 120.
+type Options struct {
+	// NoAffix disables the Prefix/Suffix labels of Appendix D
+	// (NoAffix rather than Affix so the zero value matches the paper's
+	// full system).
+	NoAffix bool
+	// StrMatchPos additionally uses whitespace-delimited literal runs
+	// of s as constant-string terms in MatchPos (Appendix B allows
+	// arbitrary constant string terms; tokens are the useful subset).
+	StrMatchPos bool
+	// MaxStringLen bounds |s| and |t|; longer replacements are
+	// rejected by Build (0 means the default of 120).
+	MaxStringLen int
+	// MaxPosFuncs caps the number of position functions kept per
+	// position after the static order (0 means keep all).
+	MaxPosFuncs int
+	// MinimalSubStr enables the Appendix E static order on string
+	// functions: among the SubStr labels of one edge (which all
+	// produce the same substring), only the smallest canonical key is
+	// kept. The order is static, so graphs with matching position
+	// function sets still share the surviving label.
+	MinimalSubStr bool
+	// ConstantScore, when non-nil, enables the Appendix E
+	// constant-string static order: ConstantStr(t[i,j)) is added only
+	// when no adjacent extension t[k,i) / t[j,l) has a strictly larger
+	// score. The whole-of-t constant is always kept.
+	ConstantScore func(sub string) float64
+}
+
+const defaultMaxStringLen = 120
+
+// Build constructs the transformation graph for s→t (Appendix C). It
+// returns nil when either string is empty or exceeds Options.MaxStringLen
+// — such replacements are skipped by the engine rather than failing the
+// whole run.
+func Build(s, t string, reg *Registry, opt Options) *Graph {
+	rs, rt := []rune(s), []rune(t)
+	maxLen := opt.MaxStringLen
+	if maxLen == 0 {
+		maxLen = defaultMaxStringLen
+	}
+	if len(rs) == 0 || len(rt) == 0 || len(rs) > maxLen || len(rt) > maxLen {
+		return nil
+	}
+	n, m := len(rs), len(rt)
+
+	matches := dsl.AllMatches(rs)
+	pos := positionLists(rs, matches, opt)
+
+	// lce[i][x]: length of the longest common prefix of t[i:] and s[x:]
+	// (0-based). Used both for locating occurrences of t[i,j) in s and
+	// for the affix labels.
+	lce := make([][]int32, m+1)
+	for i := range lce {
+		lce[i] = make([]int32, n+1)
+	}
+	for i := m - 1; i >= 0; i-- {
+		for x := n - 1; x >= 0; x-- {
+			if rt[i] == rs[x] {
+				lce[i][x] = lce[i+1][x+1] + 1
+			}
+		}
+	}
+	// slce[j][y]: longest common suffix of t[:j] and s[:y] (0-based
+	// exclusive ends).
+	slce := make([][]int32, m+1)
+	for j := range slce {
+		slce[j] = make([]int32, n+1)
+	}
+	for j := 1; j <= m; j++ {
+		for y := 1; y <= n; y++ {
+			if rt[j-1] == rs[y-1] {
+				slce[j][y] = slce[j-1][y-1] + 1
+			}
+		}
+	}
+
+	// labels[i][j] accumulates the labels of edge e(i,j), 1-based.
+	labels := make([][][]LabelID, m+2)
+	for i := range labels {
+		labels[i] = make([][]LabelID, m+2)
+	}
+
+	var keyBuf []byte
+
+	// SubStr labels: for every occurrence s[x,y) of t[i,j), every
+	// combination of a position function locating x and one locating y.
+	// In MinimalSubStr mode only the smallest key per edge survives.
+	var minSubStr map[[2]int]subStrCand
+	if opt.MinimalSubStr {
+		minSubStr = make(map[[2]int]subStrCand)
+	}
+	for i := 1; i <= m; i++ {
+		for x := 1; x <= n; x++ {
+			maxRun := int(lce[i-1][x-1])
+			for l := 1; l <= maxRun; l++ {
+				j := i + l
+				y := x + l
+				if len(pos[x]) == 0 || len(pos[y]) == 0 {
+					continue
+				}
+				for _, pf := range pos[x] {
+					for _, pg := range pos[y] {
+						keyBuf = keyBuf[:0]
+						keyBuf = append(keyBuf, 'S', '(')
+						keyBuf = pf.AppendKey(keyBuf)
+						keyBuf = append(keyBuf, ',')
+						keyBuf = pg.AppendKey(keyBuf)
+						keyBuf = append(keyBuf, ')')
+						if opt.MinimalSubStr {
+							ek := [2]int{i, j}
+							if prev, ok := minSubStr[ek]; !ok || string(keyBuf) < prev.key {
+								pf, pg := pf, pg
+								minSubStr[ek] = subStrCand{key: string(keyBuf), mk: func() dsl.Func {
+									return dsl.SubStr{L: pf, R: pg}
+								}}
+							}
+							continue
+						}
+						pf, pg := pf, pg
+						id := reg.internKey(keyBuf, func() dsl.Func {
+							return dsl.SubStr{L: pf, R: pg}
+						})
+						labels[i][j] = append(labels[i][j], id)
+					}
+				}
+			}
+		}
+	}
+	for ek, cand := range minSubStr {
+		id := reg.internKey([]byte(cand.key), cand.mk)
+		labels[ek[0]][ek[1]] = append(labels[ek[0]][ek[1]], id)
+	}
+
+	// ConstantStr labels (with the optional Appendix E scoring order).
+	addConst := func(i, j int) {
+		sub := string(rt[i-1 : j-1])
+		keyBuf = keyBuf[:0]
+		keyBuf = append(keyBuf, 'C')
+		keyBuf = appendQuoted(keyBuf, sub)
+		id := reg.internKey(keyBuf, func() dsl.Func { return dsl.ConstantStr{S: sub} })
+		labels[i][j] = append(labels[i][j], id)
+	}
+	if opt.ConstantScore == nil {
+		for i := 1; i <= m; i++ {
+			for j := i + 1; j <= m+1; j++ {
+				addConst(i, j)
+			}
+		}
+	} else {
+		score := func(i, j int) float64 { return opt.ConstantScore(string(rt[i-1 : j-1])) }
+		// bestEndingAt[i] = max score of substrings t[k,i); similarly
+		// bestStartingAt[j] over t[j,l).
+		bestEndingAt := make([]float64, m+2)
+		bestStartingAt := make([]float64, m+2)
+		sc := make([][]float64, m+2)
+		for i := 1; i <= m; i++ {
+			sc[i] = make([]float64, m+2)
+			for j := i + 1; j <= m+1; j++ {
+				v := score(i, j)
+				sc[i][j] = v
+				if v > bestStartingAt[i] {
+					bestStartingAt[i] = v
+				}
+				if v > bestEndingAt[j] {
+					bestEndingAt[j] = v
+				}
+			}
+		}
+		for i := 1; i <= m; i++ {
+			for j := i + 1; j <= m+1; j++ {
+				if i == 1 && j == m+1 {
+					// Always keep the whole-string constant so every
+					// replacement has at least one transformation path.
+					addConst(i, j)
+					continue
+				}
+				if sc[i][j] >= bestEndingAt[i] && sc[i][j] >= bestStartingAt[j] {
+					addConst(i, j)
+				}
+			}
+		}
+	}
+
+	// Affix labels (Appendix D), longest-only static order: for each
+	// match of each term, the longest proper prefix/suffix alignment.
+	if !opt.NoAffix {
+		for term := dsl.Term(0); term < dsl.Term(dsl.NumTerms); term++ {
+			spans := matches[term]
+			mT := len(spans)
+			for k, sp := range spans {
+				x, y := sp.Beg, sp.End // 1-based in s
+				runLen := sp.Len()
+				if runLen < 2 {
+					continue // no proper non-empty prefix/suffix
+				}
+				for i := 1; i <= m; i++ {
+					l := int(lce[i-1][x-1])
+					if l > runLen-1 {
+						l = runLen - 1
+					}
+					if l < 1 {
+						continue
+					}
+					j := i + l
+					labels[i][j] = append(labels[i][j],
+						internAffix(reg, &keyBuf, 'P', term, k+1),
+						internAffix(reg, &keyBuf, 'P', term, k-mT))
+				}
+				for j := 2; j <= m+1; j++ {
+					l := int(slce[j-1][y-1])
+					if l > runLen-1 {
+						l = runLen - 1
+					}
+					if l < 1 {
+						continue
+					}
+					i := j - l
+					labels[i][j] = append(labels[i][j],
+						internAffix(reg, &keyBuf, 'F', term, k+1),
+						internAffix(reg, &keyBuf, 'F', term, k-mT))
+				}
+			}
+		}
+	}
+
+	// Assemble adjacency lists: deduplicate and sort labels, skip
+	// label-less edges.
+	g := &Graph{S: s, T: t, N: m + 1, Adj: make([][]Edge, m+2)}
+	for i := 1; i <= m; i++ {
+		for j := i + 1; j <= m+1; j++ {
+			ls := labels[i][j]
+			if len(ls) == 0 {
+				continue
+			}
+			ls = dedupLabels(ls)
+			g.Adj[i] = append(g.Adj[i], Edge{To: j, Labels: ls})
+		}
+	}
+	return g
+}
+
+// subStrCand is a deferred SubStr label candidate in MinimalSubStr mode.
+type subStrCand struct {
+	key string
+	mk  func() dsl.Func
+}
+
+func internAffix(reg *Registry, keyBuf *[]byte, kind byte, term dsl.Term, k int) LabelID {
+	b := (*keyBuf)[:0]
+	b = append(b, kind, term.Sig())
+	b = appendInt(b, k)
+	*keyBuf = b
+	return reg.internKey(b, func() dsl.Func {
+		if kind == 'P' {
+			return dsl.Prefix{Term: term, K: k}
+		}
+		return dsl.Suffix{Term: term, K: k}
+	})
+}
+
+func dedupLabels(ls []LabelID) []LabelID {
+	sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+	out := ls[:0]
+	var prev LabelID = -1
+	for _, id := range ls {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}
+
+// positionLists computes P[x] for every position x of s (Appendix C)
+// under the Appendix E static partial order: all regex-term MatchPos
+// functions (forward and backward k, begin and end) are kept; ConstPos is
+// the narrowest class and is added only for positions no MatchPos
+// expresses; literal token terms are optional.
+func positionLists(rs []rune, matches [dsl.NumTerms][]dsl.Span, opt Options) [][]dsl.Pos {
+	n := len(rs)
+	pos := make([][]dsl.Pos, n+2)
+	add := func(x int, p dsl.Pos) {
+		pos[x] = append(pos[x], p)
+	}
+	for term := dsl.Term(0); term < dsl.Term(dsl.NumTerms); term++ {
+		spans := matches[term]
+		mT := len(spans)
+		for k, sp := range spans {
+			add(sp.Beg, dsl.MatchPos{Term: term, K: k + 1, Dir: dsl.DirBegin})
+			add(sp.Beg, dsl.MatchPos{Term: term, K: k - mT, Dir: dsl.DirBegin})
+			add(sp.End, dsl.MatchPos{Term: term, K: k + 1, Dir: dsl.DirEnd})
+			add(sp.End, dsl.MatchPos{Term: term, K: k - mT, Dir: dsl.DirEnd})
+		}
+	}
+	if opt.StrMatchPos {
+		// Literal token terms: maximal non-space runs of s. Positions
+		// use the same left-to-right non-overlapping occurrence
+		// numbering as dsl.StrMatchPos.Eval, so builder and evaluator
+		// agree even when a token also occurs inside another token.
+		seen := make(map[string]bool)
+		i := 0
+		for i < n {
+			if dsl.TermSpace.MatchRune(rs[i]) {
+				i++
+				continue
+			}
+			j := i
+			for j < n && !dsl.TermSpace.MatchRune(rs[j]) {
+				j++
+			}
+			lit := string(rs[i:j])
+			i = j
+			if seen[lit] {
+				continue
+			}
+			seen[lit] = true
+			occ := dsl.LiteralMatches(rs, []rune(lit))
+			mT := len(occ)
+			for k, sp := range occ {
+				add(sp.Beg, dsl.StrMatchPos{Str: lit, K: k + 1, Dir: dsl.DirBegin})
+				add(sp.Beg, dsl.StrMatchPos{Str: lit, K: k - mT, Dir: dsl.DirBegin})
+				add(sp.End, dsl.StrMatchPos{Str: lit, K: k + 1, Dir: dsl.DirEnd})
+				add(sp.End, dsl.StrMatchPos{Str: lit, K: k - mT, Dir: dsl.DirEnd})
+			}
+		}
+	}
+	// ConstPos fallback for positions without any match-based function.
+	for x := 1; x <= n+1; x++ {
+		if len(pos[x]) == 0 {
+			pos[x] = append(pos[x],
+				dsl.ConstPos{K: x},
+				dsl.ConstPos{K: x - n - 2})
+		}
+	}
+	if opt.MaxPosFuncs > 0 {
+		for x := 1; x <= n+1; x++ {
+			if len(pos[x]) > opt.MaxPosFuncs {
+				pos[x] = pos[x][:opt.MaxPosFuncs]
+			}
+		}
+	}
+	return pos
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+func appendQuoted(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch r {
+		case '"', '\\':
+			b = append(b, '\\', byte(r))
+		default:
+			b = appendRune(b, r)
+		}
+	}
+	return append(b, '"')
+}
+
+func appendRune(b []byte, r rune) []byte {
+	if r < 128 {
+		return append(b, byte(r))
+	}
+	return append(b, string(r)...)
+}

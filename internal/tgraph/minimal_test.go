@@ -1,0 +1,82 @@
+package tgraph
+
+import (
+	"testing"
+
+	"github.com/goldrec/goldrec/internal/dsl"
+)
+
+func TestMinimalSubStrKeepsOnePerEdge(t *testing.T) {
+	full := NewRegistry()
+	gFull := Build("Lee, Mary", "M. Lee", full, Options{})
+	min := NewRegistry()
+	gMin := Build("Lee, Mary", "M. Lee", min, Options{MinimalSubStr: true})
+	if gMin.NumLabels() >= gFull.NumLabels() {
+		t.Fatalf("minimal graph has %d labels, full has %d", gMin.NumLabels(), gFull.NumLabels())
+	}
+	// Count SubStr labels per edge in the minimal graph.
+	for i := 1; i < gMin.N; i++ {
+		for _, e := range gMin.Adj[i] {
+			subs := 0
+			for _, id := range e.Labels {
+				if _, ok := min.Func(id).(dsl.SubStr); ok {
+					subs++
+				}
+			}
+			if subs > 1 {
+				t.Fatalf("edge (%d,%d) has %d SubStr labels, want ≤ 1", i, e.To, subs)
+			}
+		}
+	}
+}
+
+func TestMinimalSubStrPreservesCrossGraphSharing(t *testing.T) {
+	// Within one structure group the position-function sets coincide,
+	// so the surviving SubStr labels still match across graphs: the
+	// canonical pool must keep a shared label on the "initial" edge.
+	reg := NewRegistry()
+	g1 := Build("Lee, Mary", "M. Lee", reg, Options{MinimalSubStr: true})
+	g2 := Build("Smith, James", "J. Smith", reg, Options{MinimalSubStr: true})
+	shared := func(a, b *Graph, i1, j1, i2, j2 int) bool {
+		e1 := findEdge(a, i1, j1)
+		e2 := findEdge(b, i2, j2)
+		if e1 == nil || e2 == nil {
+			return false
+		}
+		set := map[LabelID]bool{}
+		for _, id := range e1.Labels {
+			set[id] = true
+		}
+		for _, id := range e2.Labels {
+			if set[id] {
+				if _, ok := reg.Func(id).(dsl.SubStr); ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// The "M"/"J" initial edge and the "Lee"/"Smith" last-name edge.
+	if !shared(g1, g2, 1, 2, 1, 2) {
+		t.Error("initial edges share no SubStr label under MinimalSubStr")
+	}
+	if !shared(g1, g2, 4, 7, 4, 9) {
+		t.Error("last-name edges share no SubStr label under MinimalSubStr")
+	}
+}
+
+func TestMinimalSubStrPathsStayConsistent(t *testing.T) {
+	reg := NewRegistry()
+	g := Build("Smith, James", "J. Smith", reg, Options{MinimalSubStr: true})
+	// Random spanning paths must still be consistent programs.
+	node := 1
+	var path []LabelID
+	for node != g.FinalNode() {
+		e := g.Adj[node][0]
+		path = append(path, e.Labels[0])
+		node = e.To
+	}
+	if !reg.Program(path).Consistent("Smith, James", "J. Smith") {
+		t.Error("minimal-graph path inconsistent")
+	}
+}

@@ -1,0 +1,69 @@
+// Package tgraph builds transformation graphs: for a replacement s→t,
+// the DAG whose nodes are the |t|+1 positions of t and whose edge e(i,j)
+// carries every string function that outputs t[i,j) when applied to s
+// (Definition 2, Appendix C). By Theorem 4.2 the graph encodes exactly
+// the programs consistent with the replacement, so two replacements share
+// a transformation iff their graphs share a spanning path with equal edge
+// labels — which is what the label registry makes comparable across
+// graphs.
+package tgraph
+
+import (
+	"github.com/goldrec/goldrec/internal/dsl"
+)
+
+// LabelID identifies an interned string function within one Registry.
+// Graphs grouped together must share a registry (the engine uses one
+// registry per structure group).
+type LabelID int32
+
+// Registry interns string functions by their canonical key so that equal
+// functions in different graphs map to the same LabelID.
+type Registry struct {
+	byKey map[string]LabelID
+	funcs []dsl.Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]LabelID)}
+}
+
+// Intern returns the LabelID for f, creating it on first use.
+func (r *Registry) Intern(f dsl.Func) LabelID {
+	key := string(f.AppendKey(nil))
+	if id, ok := r.byKey[key]; ok {
+		return id
+	}
+	id := LabelID(len(r.funcs))
+	r.byKey[key] = id
+	r.funcs = append(r.funcs, f)
+	return id
+}
+
+// internKey is Intern with a precomputed key, avoiding double encoding in
+// the hot path of graph construction.
+func (r *Registry) internKey(key []byte, mk func() dsl.Func) LabelID {
+	if id, ok := r.byKey[string(key)]; ok {
+		return id
+	}
+	id := LabelID(len(r.funcs))
+	r.byKey[string(key)] = id
+	r.funcs = append(r.funcs, mk())
+	return id
+}
+
+// Func returns the string function behind an id.
+func (r *Registry) Func(id LabelID) dsl.Func { return r.funcs[id] }
+
+// Len returns the number of interned functions.
+func (r *Registry) Len() int { return len(r.funcs) }
+
+// Program materializes a label sequence as a dsl.Program.
+func (r *Registry) Program(path []LabelID) dsl.Program {
+	p := make(dsl.Program, len(path))
+	for i, id := range path {
+		p[i] = r.funcs[id]
+	}
+	return p
+}

@@ -1,0 +1,127 @@
+package truth
+
+import (
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+func ds(vals ...[]string) *table.Dataset {
+	d := &table.Dataset{Attrs: []string{"A"}}
+	for _, cl := range vals {
+		var recs []table.Record
+		for _, v := range cl {
+			recs = append(recs, table.Record{Values: []string{v}})
+		}
+		d.Clusters = append(d.Clusters, table.Cluster{Records: recs})
+	}
+	return d
+}
+
+func TestMajorityConsensus(t *testing.T) {
+	d := ds(
+		[]string{"a", "a", "b"},
+		[]string{"x", "y"},    // tie → no value
+		[]string{"", "", "z"}, // empties ignored
+		[]string{"q"},         // singleton
+	)
+	cons := MajorityConsensus(d, 0)
+	if !cons[0].OK || cons[0].Value != "a" {
+		t.Errorf("cluster 0 = %+v, want a", cons[0])
+	}
+	if cons[1].OK {
+		t.Errorf("cluster 1 = %+v, want tie (no value)", cons[1])
+	}
+	if !cons[2].OK || cons[2].Value != "z" {
+		t.Errorf("cluster 2 = %+v, want z", cons[2])
+	}
+	if !cons[3].OK || cons[3].Value != "q" {
+		t.Errorf("cluster 3 = %+v, want q", cons[3])
+	}
+}
+
+func TestMajorityConsensusAllEmpty(t *testing.T) {
+	d := ds([]string{"", ""})
+	cons := MajorityConsensus(d, 0)
+	if cons[0].OK {
+		t.Errorf("all-empty cluster = %+v, want no value", cons[0])
+	}
+}
+
+func TestWeightedConsensusBreaksTieWithReliableSource(t *testing.T) {
+	// Source s1 is right in clusters 0 and 1; in cluster 2 it ties
+	// 1-vs-1 with the unreliable s2, and the learned weights break the
+	// tie toward s1.
+	d := &table.Dataset{Attrs: []string{"A"}}
+	add := func(vals map[string]string) {
+		var recs []table.Record
+		for _, src := range []string{"s1", "s1b", "s2"} {
+			if v, ok := vals[src]; ok {
+				recs = append(recs, table.Record{Source: src, Values: []string{v}})
+			}
+		}
+		d.Clusters = append(d.Clusters, table.Cluster{Records: recs})
+	}
+	add(map[string]string{"s1": "a", "s1b": "a", "s2": "wrong"})
+	add(map[string]string{"s1": "b", "s1b": "b", "s2": "wrong2"})
+	add(map[string]string{"s1": "c", "s2": "not-c"})
+
+	mc := MajorityConsensus(d, 0)
+	if mc[2].OK {
+		t.Fatalf("MC on tied cluster should fail, got %+v", mc[2])
+	}
+	wc := WeightedConsensus(d, 0, WeightedOptions{})
+	if !wc[2].OK || wc[2].Value != "c" {
+		t.Errorf("weighted consensus = %+v, want c", wc[2])
+	}
+	if !wc[0].OK || wc[0].Value != "a" {
+		t.Errorf("weighted consensus cluster 0 = %+v, want a", wc[0])
+	}
+}
+
+func TestWeightedEqualsMajorityForSingleSource(t *testing.T) {
+	d := ds([]string{"a", "a", "b"}, []string{"x", "x", "y"})
+	mc := MajorityConsensus(d, 0)
+	wc := WeightedConsensus(d, 0, WeightedOptions{})
+	for i := range mc {
+		if mc[i] != wc[i] {
+			t.Errorf("cluster %d: mc %+v, wc %+v", i, mc[i], wc[i])
+		}
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	cons := []Consensus{
+		{Value: "A", OK: true},
+		{Value: "b", OK: true},
+		{OK: false},
+		{Value: "d", OK: true},
+	}
+	golden := []string{"a", "x", "c", "d"}
+	// Case-insensitive match on cluster 0, wrong on 1, no value on 2
+	// (counts as failure), right on 3 → 2/4.
+	if got := Precision(cons, golden, nil); got != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", got)
+	}
+	// Sampled subset.
+	if got := Precision(cons, golden, []int{0, 3}); got != 1 {
+		t.Errorf("sampled Precision = %v, want 1", got)
+	}
+	// Clusters without ground truth are skipped.
+	golden[1] = ""
+	if got := Precision(cons, golden, nil); got != 2.0/3.0 {
+		t.Errorf("Precision = %v, want 2/3", got)
+	}
+}
+
+func TestGoldenRecords(t *testing.T) {
+	d := ds([]string{"a", "a"}, []string{"x", "y"})
+	cons := MajorityConsensus(d, 0)
+	recs := GoldenRecords(d, [][]Consensus{cons})
+	if recs[0].Values[0] != "a" {
+		t.Errorf("golden 0 = %q, want a", recs[0].Values[0])
+	}
+	if recs[1].Values[0] != "" {
+		t.Errorf("golden 1 = %q, want empty (tie)", recs[1].Values[0])
+	}
+}

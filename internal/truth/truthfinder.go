@@ -1,0 +1,176 @@
+package truth
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/goldrec/goldrec/internal/align"
+	"github.com/goldrec/goldrec/table"
+)
+
+// TruthFinderOptions tune the TruthFinder-style algorithm (Yin, Han, Yu
+// [44] in the paper's bibliography): iterative source-trustworthiness and
+// value-confidence computation where similar values reinforce each other.
+type TruthFinderOptions struct {
+	// Iterations of the trust/confidence fixpoint (default 8).
+	Iterations int
+	// Rho weighs the influence of similar values on each other's
+	// confidence (default 0.5).
+	Rho float64
+	// Gamma dampens the trust score (default 0.3).
+	Gamma float64
+	// InitialTrust is every source's starting trustworthiness
+	// (default 0.8).
+	InitialTrust float64
+}
+
+func (o *TruthFinderOptions) defaults() {
+	if o.Iterations <= 0 {
+		o.Iterations = 8
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.5
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.3
+	}
+	if o.InitialTrust == 0 {
+		o.InitialTrust = 0.8
+	}
+}
+
+// TruthFinder elects a golden value per cluster with the classic
+// trust/confidence iteration: a value's confidence aggregates the
+// trustworthiness of the sources claiming it plus a similarity-weighted
+// share of the confidence of *other* values of the same cluster — so
+// "9th Street" support partially counts for "9th St" even before
+// standardization, which is exactly the conflict-resolution behaviour
+// the paper's Step 1 improves upon.
+func TruthFinder(ds *table.Dataset, col int, opts TruthFinderOptions) []Consensus {
+	opts.defaults()
+
+	trust := make(map[string]float64)
+	for ci := range ds.Clusters {
+		for _, r := range ds.Clusters[ci].Records {
+			trust[r.Source] = opts.InitialTrust
+		}
+	}
+
+	type claim struct {
+		value   string
+		sources []string
+	}
+	clusterClaims := make([][]claim, len(ds.Clusters))
+	for ci := range ds.Clusters {
+		bySrc := make(map[string][]string)
+		var order []string
+		for _, r := range ds.Clusters[ci].Records {
+			v := r.Values[col]
+			if v == "" {
+				continue
+			}
+			if _, ok := bySrc[v]; !ok {
+				order = append(order, v)
+			}
+			bySrc[v] = append(bySrc[v], r.Source)
+		}
+		for _, v := range order {
+			clusterClaims[ci] = append(clusterClaims[ci], claim{value: v, sources: bySrc[v]})
+		}
+	}
+
+	confidences := make([][]float64, len(ds.Clusters))
+	for it := 0; it < opts.Iterations; it++ {
+		// Value confidences from source trust.
+		for ci, claims := range clusterClaims {
+			conf := make([]float64, len(claims))
+			for vi, cl := range claims {
+				// σ(v) = -Σ ln(1 - t(s)) over sources claiming v.
+				sigma := 0.0
+				for _, s := range cl.sources {
+					t := trust[s]
+					if t > 0.999999 {
+						t = 0.999999
+					}
+					sigma += -math.Log(1 - t)
+				}
+				conf[vi] = sigma
+			}
+			// Similarity influence: σ*(v) = σ(v) + ρ Σ_{v'≠v} sim(v,v')·σ(v').
+			adjusted := make([]float64, len(claims))
+			for vi := range claims {
+				adjusted[vi] = conf[vi]
+				for vj := range claims {
+					if vi == vj {
+						continue
+					}
+					adjusted[vi] += opts.Rho * valueSimilarity(claims[vi].value, claims[vj].value) * conf[vj]
+				}
+			}
+			// s(v) = 1 / (1 + e^(-γ σ*(v))).
+			for vi := range adjusted {
+				adjusted[vi] = 1 / (1 + math.Exp(-opts.Gamma*adjusted[vi]))
+			}
+			confidences[ci] = adjusted
+		}
+		// Source trust from value confidences: average confidence of
+		// the source's claims.
+		sum := make(map[string]float64)
+		count := make(map[string]float64)
+		for ci, claims := range clusterClaims {
+			for vi, cl := range claims {
+				for _, s := range cl.sources {
+					sum[s] += confidences[ci][vi]
+					count[s]++
+				}
+			}
+		}
+		for s := range trust {
+			if count[s] > 0 {
+				trust[s] = sum[s] / count[s]
+			}
+		}
+	}
+
+	out := make([]Consensus, len(ds.Clusters))
+	for ci, claims := range clusterClaims {
+		bestV, bestC, tie := "", -1.0, false
+		idx := make([]int, len(claims))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return claims[idx[a]].value < claims[idx[b]].value })
+		for _, vi := range idx {
+			c := confidences[ci][vi]
+			switch {
+			case c > bestC+1e-12:
+				bestV, bestC, tie = claims[vi].value, c, false
+			case c > bestC-1e-12 && bestC >= 0 && claims[vi].value != bestV:
+				tie = true
+			}
+		}
+		if bestC < 0 || tie {
+			out[ci] = Consensus{}
+			continue
+		}
+		out[ci] = Consensus{Value: bestV, OK: true}
+	}
+	return out
+}
+
+// valueSimilarity is a normalized Damerau-Levenshtein similarity in
+// [0,1], case-insensitive.
+func valueSimilarity(a, b string) float64 {
+	ra := []rune(strings.ToLower(a))
+	rb := []rune(strings.ToLower(b))
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	d := align.DamerauLevenshtein(ra, rb)
+	max := len(ra)
+	if len(rb) > max {
+		max = len(rb)
+	}
+	return 1 - float64(d)/float64(max)
+}

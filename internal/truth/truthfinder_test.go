@@ -1,0 +1,110 @@
+package truth
+
+import (
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+func srcDS(clusters ...[][2]string) *table.Dataset {
+	d := &table.Dataset{Attrs: []string{"A"}}
+	for _, cl := range clusters {
+		var recs []table.Record
+		for _, sv := range cl {
+			recs = append(recs, table.Record{Source: sv[0], Values: []string{sv[1]}})
+		}
+		d.Clusters = append(d.Clusters, table.Cluster{Records: recs})
+	}
+	return d
+}
+
+func TestTruthFinderMajorityAgreement(t *testing.T) {
+	// With uniform sources and dissimilar values, TruthFinder agrees
+	// with majority consensus.
+	d := srcDS(
+		[][2]string{{"s1", "aaaa"}, {"s2", "aaaa"}, {"s3", "zzzz"}},
+	)
+	cons := TruthFinder(d, 0, TruthFinderOptions{})
+	if !cons[0].OK || cons[0].Value != "aaaa" {
+		t.Errorf("cons = %+v, want aaaa", cons[0])
+	}
+}
+
+func TestTruthFinderSimilarityReinforcement(t *testing.T) {
+	// Four similar variants of one value versus two identical claims
+	// of a different value: similarity influence lets the variant
+	// family win even though no single variant has a majority.
+	d := srcDS(
+		[][2]string{
+			{"s1", "9th Street, 02141 WI"},
+			{"s2", "9th St, 02141 WI"},
+			{"s3", "9 Street, 02141 WI"},
+			{"s6", "9th Street 02141 WI"},
+			{"s4", "totally different place"},
+			{"s5", "totally different place"},
+		},
+	)
+	cons := TruthFinder(d, 0, TruthFinderOptions{Rho: 1.0})
+	if !cons[0].OK {
+		t.Fatal("no consensus")
+	}
+	if cons[0].Value == "totally different place" {
+		t.Errorf("similarity influence failed: chose %q", cons[0].Value)
+	}
+}
+
+func TestTruthFinderTrustPropagation(t *testing.T) {
+	// A source that is consistently wrong elsewhere loses the
+	// tie-break against a consistently right source.
+	good := [][2]string{{"good", "right1"}, {"other", "right1"}}
+	good2 := [][2]string{{"good", "right2"}, {"other", "right2"}}
+	bad := [][2]string{{"bad", "wrongA"}, {"good", "okA"}}
+	bad2 := [][2]string{{"bad", "wrongB"}, {"good", "okB"}}
+	tied := [][2]string{{"good", "X-value"}, {"bad", "Y-value"}}
+	d := srcDS(good, good2, bad, bad2, tied)
+	cons := TruthFinder(d, 0, TruthFinderOptions{})
+	if !cons[4].OK || cons[4].Value != "X-value" {
+		t.Errorf("tied cluster = %+v, want the trusted source's X-value", cons[4])
+	}
+}
+
+func TestTruthFinderEmptyCluster(t *testing.T) {
+	d := srcDS([][2]string{{"s1", ""}})
+	cons := TruthFinder(d, 0, TruthFinderOptions{})
+	if cons[0].OK {
+		t.Errorf("empty cluster should have no consensus: %+v", cons[0])
+	}
+}
+
+func TestValueSimilarity(t *testing.T) {
+	if s := valueSimilarity("abc", "abc"); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	if s := valueSimilarity("ABC", "abc"); s != 1 {
+		t.Errorf("case-insensitive similarity = %v", s)
+	}
+	if s := valueSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+	if s := valueSimilarity("", ""); s != 1 {
+		t.Errorf("empty similarity = %v", s)
+	}
+	s := valueSimilarity("9th Street", "9th St")
+	if s <= 0.5 || s >= 1 {
+		t.Errorf("partial similarity = %v, want in (0.5, 1)", s)
+	}
+}
+
+func TestTruthFinderDeterministic(t *testing.T) {
+	d := srcDS(
+		[][2]string{{"s1", "alpha"}, {"s2", "beta"}},
+		[][2]string{{"s1", "gamma"}, {"s2", "gamma"}, {"s3", "delta"}},
+	)
+	a := TruthFinder(d, 0, TruthFinderOptions{})
+	b := TruthFinder(d, 0, TruthFinderOptions{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package wrangler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+func TestParsePaperSampleRules(t *testing.T) {
+	// The two rules the paper quotes for groups C and E of Table 4
+	// (with the regex escaping the paper's rendering lost).
+	src := "replace on: ` \\(({any}+)\\)` with: ``\n" +
+		"replace on: `^({alpha}+), ({alpha}+) ({alpha}\\.)$` with: `$2 $3 $1`\n"
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(sc.Ops))
+	}
+	// First rule removes parentheticals: "john carroll (edt)" → "john carroll".
+	if got := sc.ApplyValue("john carroll (edt)"); got != "john carroll" {
+		t.Errorf("rule 1: %q", got)
+	}
+	// Second rule reorders "knuth, donald e." → "donald e. knuth".
+	if got := sc.ApplyValue("knuth, donald e."); got != "donald e. knuth" {
+		t.Errorf("rule 2: %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"replace on: `[` with: `x`", // bad regex
+		"replace on: `a`",           // missing with:
+		"replace with: `a`",         // missing on:
+		"frobnicate",                // unknown op
+		"replace on: `a`x",          // missing with: clause entirely
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	sc, err := Parse("# comment\n\nlowercase\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(sc.Ops))
+	}
+	if got := sc.ApplyValue("ABC"); got != "abc" {
+		t.Errorf("lowercase = %q", got)
+	}
+}
+
+func TestOps(t *testing.T) {
+	sc, err := Parse("uppercase\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.ApplyValue("abc"); got != "ABC" {
+		t.Errorf("uppercase = %q", got)
+	}
+	sc, err = Parse("trim\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.ApplyValue("  a   b  "); got != "a b" {
+		t.Errorf("trim = %q", got)
+	}
+}
+
+func TestApplyCountsChangedCells(t *testing.T) {
+	ds := &table.Dataset{
+		Attrs: []string{"A"},
+		Clusters: []table.Cluster{{Records: []table.Record{
+			{Values: []string{"x St"}},
+			{Values: []string{"y Street"}},
+		}}},
+	}
+	sc, err := Parse("replace on: `\\bSt\\b` with: `Street`\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Apply(ds, 0); got != 1 {
+		t.Errorf("changed = %d, want 1", got)
+	}
+	if ds.Clusters[0].Records[0].Values[0] != "x Street" {
+		t.Errorf("cell = %q", ds.Clusters[0].Records[0].Values[0])
+	}
+}
+
+func TestDatasetScriptsParse(t *testing.T) {
+	for _, name := range []string{"AuthorList", "Address", "JournalTitle"} {
+		src := ScriptFor(name)
+		if src == "" {
+			t.Fatalf("no script for %s", name)
+		}
+		sc, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sc.Ops) < 10 {
+			t.Errorf("%s: only %d ops; the paper's user wrote 30-40 lines", name, len(sc.Ops))
+		}
+	}
+	if ScriptFor("nope") != "" {
+		t.Error("unknown dataset should have no script")
+	}
+}
+
+func TestAddressScriptBehaviour(t *testing.T) {
+	sc, err := Parse(AddressScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]string{
+		{"9 St, 02141 Wisconsin", "9th Street, 02141 WI"},
+		{"3 E Avenue, 33990 California", "3rd E Avenue, 33990 CA"},
+		{"21 Ave, 11111 Texas", "21st Avenue, 11111 TX"},
+		{"East Main Street, 00001 OH", "E Main Street, 00001 OH"},
+		// The Saint trap: the blanket St rule corrupts Saint streets.
+		{"St Paul Street, 55111 MN", "Street Paul Street, 55111 MN"},
+		// The rushed user's 11/12/13 bug.
+		{"11 Street, 22222 UT", "11st Street, 22222 UT"},
+	}
+	for _, c := range cases {
+		if got := sc.ApplyValue(c[0]); got != c[1] {
+			t.Errorf("ApplyValue(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestAuthorListScriptBehaviour(t *testing.T) {
+	sc, err := Parse(AuthorListScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]string{
+		{"fox, dan box, jon", "dan fox, jon box"},
+		{"carroll, john (edt)", "john carroll"},
+		{"knuth, donald", "donald knuth"},
+		{"dan fox & jon box", "dan fox, jon box"},
+		{"bobby fox", "bob fox"},
+		// Initials are out of reach for global rules.
+		{"d. fox, j. box", "d. fox, j. box"},
+	}
+	for _, c := range cases {
+		if got := sc.ApplyValue(c[0]); got != c[1] {
+			t.Errorf("ApplyValue(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestJournalScriptBehaviour(t *testing.T) {
+	sc, err := Parse(JournalScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]string{
+		{"J. Clin. Med.", "Journal of Clinical Medicine"},
+		{"Int. J. Mach. Learn.", "International Journal of Machine Learning"},
+		{"Proc. Data Eng.", "Proceedings of the Data Engineering"},
+		{"The Journal of Applied Physics", "Journal of Applied Physics"},
+		{"Marine Ecology & Public Health", "Marine Ecology and Public Health"},
+		// ALLCAPS variants stay broken — a real recall gap of the
+		// baseline.
+		{"JOURNAL OF APPLIED PHYSICS", "JOURNAL OF APPLIED PHYSICS"},
+	}
+	for _, c := range cases {
+		if got := sc.ApplyValue(c[0]); got != c[1] {
+			t.Errorf("ApplyValue(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestRuleStringRoundtrip(t *testing.T) {
+	sc, err := Parse("replace on: `a` with: `b`\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Ops[0].String(); !strings.Contains(got, "replace on: `a` with: `b`") {
+		t.Errorf("String = %q", got)
+	}
+}

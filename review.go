@@ -1,0 +1,104 @@
+package goldrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The review file workflow decouples group generation from human
+// verification: ExportReview writes the pending groups as JSON, a human
+// (or an external review UI) fills in each group's decision, and
+// ApplyReview performs the approved replacements. This mirrors how the
+// paper's verification step would run in production, where the expert is
+// not sitting at the same terminal as the pipeline.
+
+// ReviewGroup is the serialized form of one group awaiting a decision.
+type ReviewGroup struct {
+	// ID is the group's position in the review file.
+	ID int `json:"id"`
+	// Program renders the shared transformation.
+	Program string `json:"program"`
+	// Structure is the shared structure signature.
+	Structure string `json:"structure"`
+	// Pairs lists the member replacements.
+	Pairs []ReviewPair `json:"pairs"`
+	// Decision is filled by the reviewer: "approve", "approve-backward"
+	// or "reject" (the default when empty).
+	Decision string `json:"decision"`
+}
+
+// ReviewPair is one member replacement in a review file.
+type ReviewPair struct {
+	LHS   string `json:"lhs"`
+	RHS   string `json:"rhs"`
+	Sites int    `json:"sites"`
+}
+
+// ReviewFile is the JSON document round-tripped through the reviewer.
+type ReviewFile struct {
+	Dataset string        `json:"dataset"`
+	Column  string        `json:"column"`
+	Groups  []ReviewGroup `json:"groups"`
+}
+
+// ExportReview generates up to budget groups (0 = all) and writes them as
+// a JSON review file. The session's group stream is consumed; keep the
+// session alive to call ApplyReview with the filled-in file.
+func (s *Session) ExportReview(w io.Writer, budget int) (*ReviewFile, error) {
+	rf := &ReviewFile{
+		Dataset: s.cons.ds.Name,
+		Column:  s.cons.ds.Attrs[s.col],
+	}
+	s.exported = s.exported[:0]
+	for budget <= 0 || len(rf.Groups) < budget {
+		g, ok := s.NextGroup()
+		if !ok {
+			break
+		}
+		rg := ReviewGroup{
+			ID:        len(rf.Groups),
+			Program:   g.Program,
+			Structure: g.Structure,
+		}
+		for _, p := range g.Pairs {
+			rg.Pairs = append(rg.Pairs, ReviewPair{LHS: p.LHS, RHS: p.RHS, Sites: p.Sites})
+		}
+		rf.Groups = append(rf.Groups, rg)
+		s.exported = append(s.exported, g)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rf); err != nil {
+		return nil, fmt.Errorf("goldrec: writing review file: %w", err)
+	}
+	return rf, nil
+}
+
+// ApplyReview reads a filled-in review file and applies every approved
+// group in the chosen direction. It returns the per-group apply stats
+// indexed like the review file. The file must come from this session's
+// ExportReview (group IDs address the exported group list).
+func (s *Session) ApplyReview(r io.Reader) ([]ApplyStats, error) {
+	var rf ReviewFile
+	if err := json.NewDecoder(r).Decode(&rf); err != nil {
+		return nil, fmt.Errorf("goldrec: reading review file: %w", err)
+	}
+	out := make([]ApplyStats, len(rf.Groups))
+	for _, rg := range rf.Groups {
+		if rg.ID < 0 || rg.ID >= len(s.exported) {
+			return nil, fmt.Errorf("goldrec: review group id %d out of range (%d exported)", rg.ID, len(s.exported))
+		}
+		switch rg.Decision {
+		case "approve":
+			out[rg.ID] = s.Apply(s.exported[rg.ID], Forward)
+		case "approve-backward":
+			out[rg.ID] = s.Apply(s.exported[rg.ID], Backward)
+		case "", "reject":
+			// No action.
+		default:
+			return nil, fmt.Errorf("goldrec: review group %d has unknown decision %q", rg.ID, rg.Decision)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package goldrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+func TestReviewRoundTrip(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	var buf bytes.Buffer
+	rf, err := sess.ExportReview(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.Groups) != 3 {
+		t.Fatalf("exported %d groups, want 3", len(rf.Groups))
+	}
+	if rf.Column != "Name" {
+		t.Errorf("column = %q", rf.Column)
+	}
+
+	// A reviewer approves the first group (the largest) and rejects
+	// the rest.
+	var parsed ReviewFile
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	parsed.Groups[0].Decision = "approve"
+	filled, _ := json.Marshal(parsed)
+
+	stats, err := sess.ApplyReview(bytes.NewReader(filled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].CellsChanged == 0 {
+		t.Error("approved group changed nothing")
+	}
+	if stats[1].CellsChanged != 0 || stats[2].CellsChanged != 0 {
+		t.Error("rejected groups must not apply")
+	}
+}
+
+func TestReviewBackwardDecision(t *testing.T) {
+	ds := &table.Dataset{
+		Attrs: []string{"A"},
+		Clusters: []table.Cluster{
+			{Records: []table.Record{{Values: []string{"9th"}}, {Values: []string{"9"}}}},
+		},
+	}
+	cons, _ := New(ds)
+	sess, _ := cons.ColumnIndex(0)
+	var buf bytes.Buffer
+	rf, err := sess.ExportReview(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 9th→9 group and approve it backward.
+	var parsed ReviewFile
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range parsed.Groups {
+		if parsed.Groups[i].Pairs[0].LHS == "9th" && parsed.Groups[i].Pairs[0].RHS == "9" {
+			parsed.Groups[i].Decision = "approve-backward"
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 9th→9 group among %d exported", len(rf.Groups))
+	}
+	filled, _ := json.Marshal(parsed)
+	if _, err := sess.ApplyReview(bytes.NewReader(filled)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Clusters[0].Records[1].Values[0]; got != "9th" {
+		t.Errorf("cell = %q, want \"9th\" after backward approval", got)
+	}
+}
+
+func TestReviewErrors(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	var buf bytes.Buffer
+	if _, err := sess.ExportReview(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ApplyReview(strings.NewReader("not json")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := sess.ApplyReview(strings.NewReader(`{"groups":[{"id":99,"decision":"approve"}]}`)); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+	if _, err := sess.ApplyReview(strings.NewReader(`{"groups":[{"id":0,"decision":"maybe"}]}`)); err == nil {
+		t.Error("unknown decision should fail")
+	}
+}

@@ -1,0 +1,259 @@
+package goldrec
+
+import (
+	"strings"
+
+	"github.com/goldrec/goldrec/internal/core"
+	"github.com/goldrec/goldrec/internal/oracle"
+	"github.com/goldrec/goldrec/internal/replace"
+	"github.com/goldrec/goldrec/internal/tgraph"
+	"github.com/goldrec/goldrec/table"
+)
+
+// Session standardizes one column: it owns the candidate replacements,
+// their replacement sets, and the grouping engine.
+type Session struct {
+	cons  *Consolidator
+	col   int
+	store *replace.Store
+	eng   *core.Engine
+
+	// upfront holds the remaining pre-generated groups for the OneShot
+	// and EarlyTerm algorithms.
+	upfront    []*core.Group
+	upfrontSet bool
+
+	// exported tracks the groups written by ExportReview so that
+	// ApplyReview can address them by id.
+	exported []*Group
+
+	stats SessionStats
+}
+
+// SessionStats summarizes a session's progress.
+type SessionStats struct {
+	// Candidates is the number of candidate replacements generated.
+	Candidates int
+	// GroupsSeen counts groups handed out by NextGroup/Groups.
+	GroupsSeen int
+	// GroupsApplied counts approved + applied groups.
+	GroupsApplied int
+	// CellsChanged counts cell updates from applied groups.
+	CellsChanged int
+}
+
+// Replacement is one member of a group, for display and auditing.
+type Replacement struct {
+	// LHS and RHS are the candidate pair; applying Forward rewrites
+	// LHS-sites to RHS.
+	LHS, RHS string
+	// Sites is the current size of the replacement set |L[lhs→rhs]| —
+	// how many cells the replacement would touch.
+	Sites int
+}
+
+// Group is a replacement group sharing one transformation program, ready
+// for human verification (Section 3 Step 3).
+type Group struct {
+	// Program renders the shared transformation in the paper's DSL
+	// notation, e.g. "SubStr(...) ⊕ ConstantStr(". ") ⊕ SubStr(...)".
+	Program string
+	// Structure is the shared structure signature (Section 7.2).
+	Structure string
+	// Pairs lists the member replacements, largest replacement set
+	// first.
+	Pairs []Replacement
+
+	members []*replace.Candidate
+}
+
+// Size returns the number of member replacements.
+func (g *Group) Size() int { return len(g.Pairs) }
+
+// TotalSites sums the member replacement sets — the group's "profit".
+func (g *Group) TotalSites() int {
+	n := 0
+	for _, p := range g.Pairs {
+		n += p.Sites
+	}
+	return n
+}
+
+func newSession(cons *Consolidator, col int) *Session {
+	s := &Session{cons: cons, col: col}
+	s.store = replace.NewStore(cons.ds, col, replace.Options{
+		TokenLevel:  cons.cfg.tokenCandidates,
+		MaxValueLen: cons.cfg.maxStringLen,
+	})
+	cands := s.store.Candidates()
+	reps := make([]core.Rep, 0, len(cands))
+	for _, c := range cands {
+		reps = append(reps, core.Rep{S: c.LHS, T: c.RHS, Ext: c.ID})
+	}
+	s.eng = core.NewEngine(reps, core.Options{
+		Graph: tgraph.Options{
+			NoAffix:       !cons.cfg.affix,
+			MaxStringLen:  cons.cfg.maxStringLen,
+			StrMatchPos:   cons.cfg.strMatchPos,
+			MinimalSubStr: cons.cfg.minimalSubStr,
+		},
+		MaxPathLen:      cons.cfg.maxPathLen,
+		ConstantScoring: cons.cfg.constantScoring,
+		Parallel:        cons.cfg.parallel,
+	})
+	s.stats.Candidates = len(cands)
+	return s
+}
+
+// publicGroup converts an engine group, dropping members whose
+// replacement sets have emptied since grouping.
+func (s *Session) publicGroup(g *core.Group) *Group {
+	out := &Group{
+		Program:   g.Program.String(),
+		Structure: strings.ReplaceAll(g.Sig, "\x00", " → "),
+	}
+	for _, m := range g.Members {
+		cand := s.store.Candidate(m.Ext)
+		out.members = append(out.members, cand)
+		out.Pairs = append(out.Pairs, Replacement{
+			LHS:   cand.LHS,
+			RHS:   cand.RHS,
+			Sites: cand.SiteCount(),
+		})
+	}
+	// Largest replacement sets first for display.
+	for i := 1; i < len(out.Pairs); i++ {
+		for j := i; j > 0 && out.Pairs[j].Sites > out.Pairs[j-1].Sites; j-- {
+			out.Pairs[j], out.Pairs[j-1] = out.Pairs[j-1], out.Pairs[j]
+			out.members[j], out.members[j-1] = out.members[j-1], out.members[j]
+		}
+	}
+	return out
+}
+
+// NextGroup returns the next largest remaining group (Algorithm 7 when
+// the algorithm is Incremental; otherwise the next entry of the upfront
+// list). ok is false when no groups remain.
+func (s *Session) NextGroup() (*Group, bool) {
+	if s.cons.cfg.algorithm == Incremental {
+		g := s.eng.NextGroup()
+		if g == nil {
+			return nil, false
+		}
+		s.stats.GroupsSeen++
+		return s.publicGroup(g), true
+	}
+	if !s.upfrontSet {
+		s.upfront = s.eng.AllGroups(s.mode())
+		s.upfrontSet = true
+	}
+	if len(s.upfront) == 0 {
+		return nil, false
+	}
+	g := s.upfront[0]
+	s.upfront = s.upfront[1:]
+	s.stats.GroupsSeen++
+	return s.publicGroup(g), true
+}
+
+// Groups pre-generates up to limit groups (0 = all), largest first,
+// without consuming them from NextGroup's stream. Only meaningful for
+// the upfront algorithms.
+func (s *Session) Groups(limit int) []*Group {
+	if !s.upfrontSet {
+		s.upfront = s.eng.AllGroups(s.mode())
+		s.upfrontSet = true
+	}
+	n := len(s.upfront)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]*Group, 0, n)
+	for _, g := range s.upfront[:n] {
+		out = append(out, s.publicGroup(g))
+	}
+	return out
+}
+
+func (s *Session) mode() core.Mode {
+	if s.cons.cfg.algorithm == OneShot {
+		return core.ModeOneShot
+	}
+	return core.ModeEarlyTerm
+}
+
+// ApplyStats reports one Apply call's effect.
+type ApplyStats struct {
+	// PairsApplied counts member replacements with at least one
+	// changed cell.
+	PairsApplied int
+	// CellsChanged counts updated cells.
+	CellsChanged int
+}
+
+// Apply performs every member replacement of an approved group in the
+// given direction, updates the replacement sets (Section 7.1), and
+// removes emptied candidates from the grouping engine.
+func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
+	var stats ApplyStats
+	for _, cand := range g.members {
+		target := cand
+		if dir == Backward {
+			target = s.store.Mirror(cand)
+			if target == nil {
+				continue
+			}
+		}
+		res := s.store.Apply(target)
+		if res.CellsChanged > 0 {
+			stats.PairsApplied++
+			stats.CellsChanged += res.CellsChanged
+		}
+		if len(res.Emptied) > 0 {
+			s.eng.Remove(res.Emptied...)
+		}
+	}
+	s.stats.GroupsApplied++
+	s.stats.CellsChanged += stats.CellsChanged
+	return stats
+}
+
+// Stats returns the session's progress counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// OracleVerifier returns a verification callback backed by ground truth:
+// a simulated human that approves a group when at least threshold of its
+// member pairs are true variants (0 means the 0.5 default) and picks the
+// direction that moves values toward their canonical form. It exists for
+// evaluation and examples; production use supplies a real human through
+// RunBudget.
+func (s *Session) OracleVerifier(tr *table.Truth, threshold float64) func(*Group) (bool, Direction) {
+	o := oracle.New(s.cons.ds, tr, s.col, oracle.Options{ApproveThreshold: threshold})
+	return func(g *Group) (bool, Direction) {
+		d := o.VerifyGroup(g.members)
+		dir := Forward
+		if d.Invert {
+			dir = Backward
+		}
+		return d.Approved, dir
+	}
+}
+
+// RunBudget drives the verification loop of Algorithm 1 (lines 5-9):
+// fetch groups largest-first, ask verify for a decision, apply approved
+// groups, and stop after budget groups (0 = until exhausted). It returns
+// the number of groups reviewed.
+func (s *Session) RunBudget(budget int, verify func(*Group) (bool, Direction)) int {
+	reviewed := 0
+	for budget <= 0 || reviewed < budget {
+		g, ok := s.NextGroup()
+		if !ok {
+			break
+		}
+		reviewed++
+		if ok, dir := verify(g); ok {
+			s.Apply(g, dir)
+		}
+	}
+	return reviewed
+}

@@ -1,0 +1,146 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadCSV reads a dataset from CSV. The first row is the header. The
+// column named keyCol is the clustering key (as produced by an upstream
+// entity-resolution step); rows sharing a key form one cluster. If
+// sourceCol is non-empty, that column populates Record.Source and is
+// removed from the attribute list; otherwise Source is left empty.
+func ReadCSV(r io.Reader, name, keyCol, sourceCol string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table: csv %q is empty", name)
+	}
+	header := rows[0]
+	keyIdx, srcIdx := -1, -1
+	for i, h := range header {
+		if h == keyCol {
+			keyIdx = i
+		}
+		if sourceCol != "" && h == sourceCol {
+			srcIdx = i
+		}
+	}
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("table: csv %q has no key column %q", name, keyCol)
+	}
+	if sourceCol != "" && srcIdx < 0 {
+		return nil, fmt.Errorf("table: csv %q has no source column %q", name, sourceCol)
+	}
+
+	var attrs []string
+	var attrIdx []int
+	for i, h := range header {
+		if i == keyIdx || i == srcIdx {
+			continue
+		}
+		attrs = append(attrs, h)
+		attrIdx = append(attrIdx, i)
+	}
+
+	byKey := make(map[string][]Record)
+	for rn, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("table: csv %q row %d has %d fields, want %d", name, rn+2, len(row), len(header))
+		}
+		rec := Record{Values: make([]string, len(attrs))}
+		for vi, ci := range attrIdx {
+			rec.Values[vi] = row[ci]
+		}
+		if srcIdx >= 0 {
+			rec.Source = row[srcIdx]
+		}
+		key := row[keyIdx]
+		byKey[key] = append(byKey[key], rec)
+	}
+
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	ds := &Dataset{Name: name, Attrs: attrs, Clusters: make([]Cluster, 0, len(keys))}
+	for _, k := range keys {
+		ds.Clusters = append(ds.Clusters, Cluster{Key: k, Records: byKey[k]})
+	}
+	return ds, nil
+}
+
+// ReadFlatCSV reads an *unclustered* CSV: the first row is the header,
+// every following row one record. If sourceCol is non-empty that column
+// populates Record.Source and is dropped from the attributes. Use
+// goldrec.Resolve to cluster the records into a Dataset.
+func ReadFlatCSV(r io.Reader, name, sourceCol string) (attrs []string, records []Record, err error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("table: csv %q is empty", name)
+	}
+	header := rows[0]
+	srcIdx := -1
+	for i, h := range header {
+		if sourceCol != "" && h == sourceCol {
+			srcIdx = i
+		}
+	}
+	if sourceCol != "" && srcIdx < 0 {
+		return nil, nil, fmt.Errorf("table: csv %q has no source column %q", name, sourceCol)
+	}
+	var attrIdx []int
+	for i, h := range header {
+		if i == srcIdx {
+			continue
+		}
+		attrs = append(attrs, h)
+		attrIdx = append(attrIdx, i)
+	}
+	for rn, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, nil, fmt.Errorf("table: csv %q row %d has %d fields, want %d", name, rn+2, len(row), len(header))
+		}
+		rec := Record{Values: make([]string, len(attrs))}
+		for vi, ci := range attrIdx {
+			rec.Values[vi] = row[ci]
+		}
+		if srcIdx >= 0 {
+			rec.Source = row[srcIdx]
+		}
+		records = append(records, rec)
+	}
+	return attrs, records, nil
+}
+
+// WriteCSV writes the dataset as CSV with a leading key column (named
+// keyCol) followed by the dataset attributes.
+func WriteCSV(w io.Writer, d *Dataset, keyCol string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{keyCol}, d.Attrs...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: writing csv header: %w", err)
+	}
+	for ci := range d.Clusters {
+		for _, r := range d.Clusters[ci].Records {
+			row := append([]string{d.Clusters[ci].Key}, r.Values...)
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("table: writing csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,183 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	return &Dataset{
+		Name:  "t",
+		Attrs: []string{"A", "B"},
+		Clusters: []Cluster{
+			{Key: "k1", Records: []Record{
+				{Source: "s1", Values: []string{"a1", "b1"}},
+				{Source: "s2", Values: []string{"a2", "b2"}},
+			}},
+			{Key: "k2", Records: []Record{
+				{Source: "s1", Values: []string{"x", "y"}},
+			}},
+		},
+	}
+}
+
+func TestValueSetValue(t *testing.T) {
+	ds := sample()
+	c := Cell{Cluster: 0, Row: 1, Col: 0}
+	if got := ds.Value(c); got != "a2" {
+		t.Errorf("Value = %q", got)
+	}
+	ds.SetValue(c, "z")
+	if got := ds.Value(c); got != "z" {
+		t.Errorf("Value after set = %q", got)
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	ds := sample()
+	if ds.ColumnIndex("B") != 1 || ds.ColumnIndex("A") != 0 {
+		t.Error("wrong column indexes")
+	}
+	if ds.ColumnIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := sample()
+	if err := ds.Validate(); err != nil {
+		t.Error(err)
+	}
+	ds.Clusters[0].Records[0].Values = []string{"only-one"}
+	if err := ds.Validate(); err == nil {
+		t.Error("short record should fail validation")
+	}
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Error("attribute-less dataset should fail")
+	}
+	var nilDS *Dataset
+	if err := nilDS.Validate(); err == nil {
+		t.Error("nil dataset should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	ds := sample()
+	cp := ds.Clone()
+	cp.SetValue(Cell{0, 0, 0}, "mutated")
+	if ds.Value(Cell{0, 0, 0}) == "mutated" {
+		t.Error("Clone shares storage")
+	}
+	if cp.NumRecords() != ds.NumRecords() {
+		t.Error("Clone record counts differ")
+	}
+}
+
+func TestClusterSizeStats(t *testing.T) {
+	ds := sample()
+	min, max, avg := ds.ClusterSizeStats()
+	if min != 1 || max != 2 || avg != 1.5 {
+		t.Errorf("stats = %d/%d/%v", min, max, avg)
+	}
+	empty := &Dataset{Attrs: []string{"A"}}
+	if a, b, c := empty.ClusterSizeStats(); a != 0 || b != 0 || c != 0 {
+		t.Error("empty dataset stats should be zero")
+	}
+}
+
+func TestDistinctPairs(t *testing.T) {
+	ds := &Dataset{
+		Attrs: []string{"A"},
+		Clusters: []Cluster{
+			{Records: []Record{{Values: []string{"a"}}, {Values: []string{"b"}}, {Values: []string{"a"}}}},
+			{Records: []Record{{Values: []string{"a"}}, {Values: []string{"b"}}}},
+			{Records: []Record{{Values: []string{"c"}}, {Values: []string{"d"}}}},
+		},
+	}
+	// {a,b} occurs in two clusters but counts once; {c,d} once → 2.
+	if got := ds.DistinctPairs(0, false); got != 2 {
+		t.Errorf("DistinctPairs = %d, want 2", got)
+	}
+	if got := ds.DistinctPairs(0, true); got != 4 {
+		t.Errorf("ordered DistinctPairs = %d, want 4", got)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	ds := sample()
+	tr := NewTruth(ds)
+	tr.Canon[0][0][0] = "canon"
+	tr.Canon[0][1][0] = "canon"
+	a := Cell{0, 0, 0}
+	b := Cell{0, 1, 0}
+	if !tr.Variant(a, b) {
+		t.Error("equal canons should be variant")
+	}
+	tr.Canon[0][1][0] = "other"
+	if tr.Variant(a, b) {
+		t.Error("different canons should not be variant")
+	}
+	tr.Golden[1][0] = "gold"
+	if tr.GoldenOf(1, 0) != "gold" {
+		t.Error("GoldenOf mismatch")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds, "key"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "t", "key", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Clusters) != 2 || back.NumRecords() != 3 {
+		t.Fatalf("round trip: %d clusters, %d records", len(back.Clusters), back.NumRecords())
+	}
+	if back.Attrs[0] != "A" || back.Attrs[1] != "B" {
+		t.Errorf("attrs = %v", back.Attrs)
+	}
+	// Clusters are sorted by key on read.
+	if back.Clusters[0].Key != "k1" {
+		t.Errorf("first cluster key = %q", back.Clusters[0].Key)
+	}
+}
+
+func TestReadCSVWithSource(t *testing.T) {
+	csv := "isbn,seller,title\n1,alpha,Book A\n1,beta,Book A!\n2,alpha,Book B\n"
+	ds, err := ReadCSV(strings.NewReader(csv), "books", "isbn", "seller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Attrs) != 1 || ds.Attrs[0] != "title" {
+		t.Fatalf("attrs = %v", ds.Attrs)
+	}
+	if ds.Clusters[0].Records[0].Source != "alpha" {
+		t.Errorf("source = %q", ds.Clusters[0].Records[0].Source)
+	}
+	if len(ds.Clusters) != 2 {
+		t.Errorf("clusters = %d", len(ds.Clusters))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x", "k", ""); err == nil {
+		t.Error("empty csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "x", "missing", ""); err == nil {
+		t.Error("missing key column should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "x", "a", "nosrc"); err == nil {
+		t.Error("missing source column should fail")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "dataset") || !strings.Contains(s, "k1") {
+		t.Errorf("String() = %q", s)
+	}
+}

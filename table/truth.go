@@ -1,0 +1,47 @@
+package table
+
+// Truth carries ground-truth information about a dataset. Synthetic
+// generators produce it exactly; for real data it would come from manual
+// labeling (the paper manually labeled 1000 sampled pairs per dataset and
+// collected golden records for 100 random clusters).
+//
+// Canon[ci][ri][col] is the canonical rendering of the logical value that
+// cell (ci,ri,col) carries: two cells in the same cluster are a *variant
+// pair* iff their canonical strings are equal, and a *conflict pair*
+// otherwise. Golden[ci][col] is the true golden value of cluster ci.
+type Truth struct {
+	Canon  [][][]string
+	Golden [][]string
+}
+
+// CanonOf returns the canonical string behind cell c.
+func (t *Truth) CanonOf(c Cell) string {
+	return t.Canon[c.Cluster][c.Row][c.Col]
+}
+
+// Variant reports whether the two cells (which must be in the same
+// cluster and column to be meaningful) carry the same logical value.
+func (t *Truth) Variant(a, b Cell) bool {
+	return t.CanonOf(a) == t.CanonOf(b)
+}
+
+// GoldenOf returns the true golden value for a cluster's column.
+func (t *Truth) GoldenOf(cluster, col int) string {
+	return t.Golden[cluster][col]
+}
+
+// NewTruth allocates a Truth shaped like the dataset, with empty strings.
+func NewTruth(d *Dataset) *Truth {
+	t := &Truth{
+		Canon:  make([][][]string, len(d.Clusters)),
+		Golden: make([][]string, len(d.Clusters)),
+	}
+	for ci := range d.Clusters {
+		t.Canon[ci] = make([][]string, len(d.Clusters[ci].Records))
+		for ri := range d.Clusters[ci].Records {
+			t.Canon[ci][ri] = make([]string, len(d.Attrs))
+		}
+		t.Golden[ci] = make([]string, len(d.Attrs))
+	}
+	return t
+}
