@@ -21,8 +21,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,65 +32,93 @@ import (
 	"github.com/goldrec/goldrec/table"
 )
 
+// errUsage marks errors the FlagSet has already reported to the user;
+// main exits without printing them a second time.
+var errUsage = errors.New("usage")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "goldrec:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: it parses args with its own FlagSet and
+// reads interactive decisions from stdin.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goldrec", flag.ContinueOnError)
 	var (
-		in           = flag.String("in", "", "input CSV path (required)")
-		keyCol       = flag.String("key", "", "clustering key column name (for pre-clustered input)")
-		srcCol       = flag.String("source", "", "optional source column name")
-		resolveKey   = flag.String("resolve-key", "", "cluster unclustered input by exact equality of this attribute")
-		resolveMatch = flag.String("resolve-match", "", "cluster unclustered input by similarity of this attribute")
-		threshold    = flag.Float64("threshold", 0.6, "similarity threshold for -resolve-match")
-		cols         = flag.String("col", "", "comma-separated attribute(s) to standardize (default: all)")
-		budget       = flag.Int("budget", 100, "maximum groups to review per column (0 = unlimited)")
-		yes          = flag.Bool("yes", false, "auto-approve every group forward (non-interactive demo mode)")
-		exportReview = flag.String("export-review", "", "write pending groups as a JSON review file and exit")
-		applyReview  = flag.String("apply-review", "", "apply a filled-in JSON review file instead of interactive review")
-		out          = flag.String("out", "", "write the standardized records CSV here")
-		golden       = flag.String("golden", "", "write the golden records CSV here")
-		preview      = flag.Int("preview", 5, "member pairs shown per group in interactive mode")
+		in           = fs.String("in", "", "input CSV path (required)")
+		keyCol       = fs.String("key", "", "clustering key column name (for pre-clustered input)")
+		srcCol       = fs.String("source", "", "optional source column name")
+		resolveKey   = fs.String("resolve-key", "", "cluster unclustered input by exact equality of this attribute")
+		resolveMatch = fs.String("resolve-match", "", "cluster unclustered input by similarity of this attribute")
+		threshold    = fs.Float64("threshold", 0.6, "similarity threshold for -resolve-match")
+		cols         = fs.String("col", "", "comma-separated attribute(s) to standardize (default: all)")
+		budget       = fs.Int("budget", 100, "maximum groups to review per column (0 = unlimited)")
+		yes          = fs.Bool("yes", false, "auto-approve every group forward (non-interactive demo mode)")
+		exportReview = fs.String("export-review", "", "write pending groups as a JSON review file and exit")
+		applyReview  = fs.String("apply-review", "", "apply a filled-in JSON review file instead of interactive review")
+		out          = fs.String("out", "", "write the standardized records CSV here")
+		golden       = fs.String("golden", "", "write the golden records CSV here")
+		preview      = fs.Int("preview", 5, "member pairs shown per group in interactive mode")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 	if *in == "" || (*keyCol == "" && *resolveKey == "" && *resolveMatch == "") {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("-in and one of -key/-resolve-key/-resolve-match are required")
 	}
 
-	ds, err := loadDataset(*in, *keyCol, *srcCol, *resolveKey, *resolveMatch, *threshold)
+	ds, err := loadDataset(stdout, *in, *keyCol, *srcCol, *resolveKey, *resolveMatch, *threshold)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("loaded %d clusters, %d records, attributes: %s\n",
+	fmt.Fprintf(stdout, "loaded %d clusters, %d records, attributes: %s\n",
 		len(ds.Clusters), ds.NumRecords(), strings.Join(ds.Attrs, ", "))
 
 	cons, err := goldrec.New(ds)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	attrs := ds.Attrs
 	if *cols != "" {
 		attrs = strings.Split(*cols, ",")
 	}
-	stdin := bufio.NewReader(os.Stdin)
+	if *exportReview != "" && len(attrs) > 1 {
+		// One review file per run: a second column would silently
+		// overwrite the first column's export.
+		return fmt.Errorf("-export-review handles one column per file; pick one with -col (have %d: %s)",
+			len(attrs), strings.Join(attrs, ", "))
+	}
+	br := bufio.NewReader(stdin)
 	for _, attr := range attrs {
 		attr = strings.TrimSpace(attr)
 		sess, err := cons.Column(attr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("\n--- column %q: %d candidate replacements ---\n", attr, sess.Stats().Candidates)
+		fmt.Fprintf(stdout, "\n--- column %q: %d candidate replacements ---\n", attr, sess.Stats().Candidates)
 		switch {
 		case *exportReview != "":
 			f, err := os.Create(*exportReview)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			rf, err := sess.ExportReview(f, *budget)
 			f.Close()
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("exported %d groups to %s; fill in decisions and re-run with -apply-review\n",
+			fmt.Fprintf(stdout, "exported %d groups to %s; fill in decisions and re-run with -apply-review\n",
 				len(rf.Groups), *exportReview)
 			continue
 		case *applyReview != "":
@@ -96,16 +126,16 @@ func main() {
 			// decisions (IDs address the regenerated export order).
 			var scratch strings.Builder
 			if _, err := sess.ExportReview(&scratch, *budget); err != nil {
-				fatal(err)
+				return err
 			}
 			f, err := os.Open(*applyReview)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			stats, err := sess.ApplyReview(f)
 			f.Close()
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			applied := 0
 			for _, s := range stats {
@@ -113,25 +143,25 @@ func main() {
 					applied++
 				}
 			}
-			fmt.Printf("applied %d approved groups from %s\n", applied, *applyReview)
+			fmt.Fprintf(stdout, "applied %d approved groups from %s\n", applied, *applyReview)
 			continue
 		}
 		reviewed := sess.RunBudget(*budget, func(g *goldrec.Group) (bool, goldrec.Direction) {
 			if *yes {
 				return true, goldrec.Forward
 			}
-			return ask(stdin, g, *preview)
+			return ask(br, stdout, g, *preview)
 		})
 		st := sess.Stats()
-		fmt.Printf("reviewed %d groups, applied %d, changed %d cells\n",
+		fmt.Fprintf(stdout, "reviewed %d groups, applied %d, changed %d cells\n",
 			reviewed, st.GroupsApplied, st.CellsChanged)
 	}
 
 	if *out != "" {
 		if err := writeCSV(*out, ds, *keyCol); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("standardized records written to %s\n", *out)
+		fmt.Fprintf(stdout, "standardized records written to %s\n", *out)
 	}
 	if *golden != "" {
 		records := cons.GoldenRecords()
@@ -143,25 +173,26 @@ func main() {
 			})
 		}
 		if err := writeCSV(*golden, gds, *keyCol); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("golden records written to %s\n", *golden)
+		fmt.Fprintf(stdout, "golden records written to %s\n", *golden)
 	}
+	return nil
 }
 
 // ask shows a group and reads the human's decision: y (forward),
 // b (backward), anything else rejects.
-func ask(stdin *bufio.Reader, g *goldrec.Group, preview int) (bool, goldrec.Direction) {
-	fmt.Printf("\ngroup of %d replacement(s), %d site(s)\n", g.Size(), g.TotalSites())
-	fmt.Printf("transformation: %s\n", g.Program)
+func ask(stdin *bufio.Reader, stdout io.Writer, g *goldrec.Group, preview int) (bool, goldrec.Direction) {
+	fmt.Fprintf(stdout, "\ngroup of %d replacement(s), %d site(s)\n", g.Size(), g.TotalSites())
+	fmt.Fprintf(stdout, "transformation: %s\n", g.Program)
 	for i, p := range g.Pairs {
 		if i >= preview {
-			fmt.Printf("  ... and %d more\n", len(g.Pairs)-preview)
+			fmt.Fprintf(stdout, "  ... and %d more\n", len(g.Pairs)-preview)
 			break
 		}
-		fmt.Printf("  %q → %q  (%d sites)\n", p.LHS, p.RHS, p.Sites)
+		fmt.Fprintf(stdout, "  %q → %q  (%d sites)\n", p.LHS, p.RHS, p.Sites)
 	}
-	fmt.Print("apply? [y = left→right, b = right→left, N = reject] ")
+	fmt.Fprint(stdout, "apply? [y = left→right, b = right→left, N = reject] ")
 	line, err := stdin.ReadString('\n')
 	if err != nil {
 		return false, goldrec.Forward
@@ -177,7 +208,7 @@ func ask(stdin *bufio.Reader, g *goldrec.Group, preview int) (bool, goldrec.Dire
 
 // loadDataset reads the input either pre-clustered (keyCol) or flat with
 // on-the-fly entity resolution.
-func loadDataset(path, keyCol, srcCol, resolveKey, resolveMatch string, threshold float64) (*table.Dataset, error) {
+func loadDataset(stdout io.Writer, path, keyCol, srcCol, resolveKey, resolveMatch string, threshold float64) (*table.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -198,7 +229,7 @@ func loadDataset(path, keyCol, srcCol, resolveKey, resolveMatch string, threshol
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("resolved %d records into %d clusters\n", len(records), len(ds.Clusters))
+	fmt.Fprintf(stdout, "resolved %d records into %d clusters\n", len(records), len(ds.Clusters))
 	return ds, nil
 }
 
@@ -209,9 +240,4 @@ func writeCSV(path string, ds *table.Dataset, keyCol string) error {
 	}
 	defer f.Close()
 	return table.WriteCSV(f, ds, keyCol)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "goldrec:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const smokeCSV = `key,Name,Address
+C1,Mary Lee,"9 St, 02141 Wisconsin"
+C1,M. Lee,"9th St, 02141 WI"
+C1,"Lee, Mary","9 Street, 02141 WI"
+C2,"Smith, James","5th St, 22701 California"
+C2,James Smith,"3rd E Ave, 33990 California"
+C2,J. Smith,"3 E Avenue, 33990 CA"
+`
+
+func writeSmokeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(smokeCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, strings.NewReader(""), &out); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("run with no args should fail")
+	}
+	if err := run([]string{"-in", "x.csv"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("run without a clustering mode should fail")
+	}
+	// Parse errors are already reported by the FlagSet; run marks them
+	// so main does not print them twice.
+	if err := run([]string{"-bogus"}, strings.NewReader(""), &out); !errors.Is(err, errUsage) {
+		t.Fatalf("run(-bogus) = %v, want errUsage", err)
+	}
+}
+
+func TestExportReviewRefusesMultipleColumns(t *testing.T) {
+	in := writeSmokeCSV(t)
+	review := filepath.Join(filepath.Dir(in), "review.json")
+	var out strings.Builder
+	err := run([]string{"-in", in, "-key", "key", "-export-review", review},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "one column") {
+		t.Fatalf("multi-column export-review = %v, want one-column error", err)
+	}
+	if _, statErr := os.Stat(review); !os.IsNotExist(statErr) {
+		t.Error("refused export still created the review file")
+	}
+}
+
+// TestRunEndToEnd drives the auto-approve pipeline over a tiny dataset
+// and checks both output files.
+func TestRunEndToEnd(t *testing.T) {
+	in := writeSmokeCSV(t)
+	dir := filepath.Dir(in)
+	golden := filepath.Join(dir, "golden.csv")
+	std := filepath.Join(dir, "std.csv")
+
+	var out strings.Builder
+	err := run([]string{
+		"-in", in, "-key", "key", "-col", "Name",
+		"-yes", "-budget", "5",
+		"-golden", golden, "-out", std,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"loaded 2 clusters", "reviewed", "golden records written", "standardized records written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	goldenData, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(goldenData)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("golden csv has %d lines, want header + 2 clusters:\n%s", len(lines), goldenData)
+	}
+	if !strings.HasPrefix(lines[0], "key,Name,Address") {
+		t.Errorf("golden header = %q", lines[0])
+	}
+
+	stdData, err := os.ReadFile(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(stdData)), "\n")); got != 7 {
+		t.Fatalf("standardized csv has %d lines, want header + 6 records", got)
+	}
+}
+
+// TestRunInteractiveEOF checks the interactive path: EOF on stdin
+// rejects every group, so no cells change.
+func TestRunInteractiveEOF(t *testing.T) {
+	in := writeSmokeCSV(t)
+	var out strings.Builder
+	err := run([]string{"-in", in, "-key", "key", "-col", "Name", "-budget", "2"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "applied 0") {
+		t.Errorf("EOF stdin should reject everything:\n%s", out.String())
+	}
+}
+
+// TestRunReviewRoundTrip exercises -export-review and -apply-review.
+func TestRunReviewRoundTrip(t *testing.T) {
+	in := writeSmokeCSV(t)
+	review := filepath.Join(filepath.Dir(in), "review.json")
+	fixed := filepath.Join(filepath.Dir(in), "fixed.csv")
+
+	var out strings.Builder
+	if err := run([]string{"-in", in, "-key", "key", "-col", "Name", "-export-review", review},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	data, err := os.ReadFile(review)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approve the first group in place.
+	filled := strings.Replace(string(data), `"decision": ""`, `"decision": "approve"`, 1)
+	if filled == string(data) {
+		t.Fatalf("no decision slot found in review file:\n%s", data)
+	}
+	if err := os.WriteFile(review, []byte(filled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", in, "-key", "key", "-col", "Name", "-apply-review", review, "-out", fixed},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !strings.Contains(out.String(), "applied 1 approved groups") {
+		t.Errorf("apply output:\n%s", out.String())
+	}
+	if _, err := os.Stat(fixed); err != nil {
+		t.Errorf("standardized output missing: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Command goldrecd serves the goldrec consolidation pipeline over HTTP:
+// upload clustered CSVs, open per-column review sessions whose group
+// discovery runs in the background, post approve/reject decisions from
+// any HTTP client, and export golden records. See docs/goldrecd.md for
+// a curl walkthrough of the API.
+//
+//	goldrecd -addr :8080 -ttl 30m -max-sessions 64
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/goldrec/goldrec/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		ttl         = flag.Duration("ttl", 30*time.Minute, "evict datasets and sessions idle longer than this (0 = never)")
+		maxSessions = flag.Int("max-sessions", 0, "maximum live column sessions across all datasets (0 = unlimited)")
+		prefetch    = flag.Int("prefetch", 0, "groups each session keeps buffered ahead of the reviewer (0 = default)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "goldrecd: ", log.LstdFlags)
+	svcTTL := *ttl
+	if svcTTL == 0 {
+		svcTTL = -1 // Options treats 0 as "use default"; negative disables.
+	}
+	svc := service.New(service.Options{
+		TTL:         svcTTL,
+		MaxSessions: *maxSessions,
+		Prefetch:    *prefetch,
+		Logf:        logger.Printf,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(logger, svc.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (ttl=%v max-sessions=%d)", *addr, *ttl, *maxSessions)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("server: %v", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+}
+
+// logRequests logs one line per request: method, path, status, size,
+// duration.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Printf("%s %s %d %dB %v", r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}

@@ -1,0 +1,3 @@
+module github.com/goldrec/goldrec
+
+go 1.22

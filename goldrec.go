@@ -24,6 +24,24 @@
 //		}
 //	}
 //	golden := cons.GoldenRecords()
+//
+// Groups handed out by NextGroup carry session-scoped ids, so a remote
+// reviewer can return decisions by id through Session.Decide, and
+// Session.ReviewState serializes the full review progress. The
+// internal/service package and the goldrecd command build a concurrent
+// HTTP consolidation service on top of these hooks; docs/goldrecd.md
+// walks through its API.
+//
+// # Concurrency
+//
+// A Consolidator and its Sessions are not safe for concurrent use by
+// multiple goroutines; callers that share one serialize access
+// themselves. Sessions on distinct columns of the same dataset are the
+// exception: candidate generation and Apply touch only the session's
+// own column, so one session per column may run on its own goroutine.
+// Do not open two sessions on the same column, and do not call
+// GoldenRecords (which reads every column) while any session might be
+// applying a group.
 package goldrec
 
 import (

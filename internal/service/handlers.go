@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/goldrec/goldrec"
+)
+
+// maxWait bounds how long a wait=true group fetch may block, so a
+// long-polling client with no server-side progress eventually gets an
+// empty page back instead of an idle-timeout error.
+const maxWait = 25 * time.Second
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /healthz
+//	POST   /v1/datasets?name=N&key=K&source=S   (body: clustered CSV)
+//	GET    /v1/datasets
+//	GET    /v1/datasets/{id}
+//	DELETE /v1/datasets/{id}
+//	GET    /v1/datasets/{id}/records?format=json|csv
+//	GET    /v1/datasets/{id}/golden?format=json|csv
+//	POST   /v1/datasets/{id}/sessions           (body: {"column": ...})
+//	GET    /v1/sessions
+//	GET    /v1/sessions/{id}
+//	DELETE /v1/sessions/{id}
+//	GET    /v1/sessions/{id}/groups?limit=N&wait=true
+//	GET    /v1/sessions/{id}/state
+//	POST   /v1/sessions/{id}/decisions          (body: DecisionRequest)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.ListDatasets()})
+	})
+	mux.HandleFunc("GET /v1/datasets/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.GetDataset(r.PathValue("id"))
+		respond(w, info, err)
+	})
+	mux.HandleFunc("DELETE /v1/datasets/{id}", func(w http.ResponseWriter, r *http.Request) {
+		respondNoContent(w, s.DeleteDataset(r.PathValue("id")))
+	})
+	mux.HandleFunc("GET /v1/datasets/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExport(w, r, false)
+	})
+	mux.HandleFunc("GET /v1/datasets/{id}/golden", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExport(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/datasets/{id}/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.ListSessions()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.GetSession(r.PathValue("id"))
+		respond(w, info, err)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		respondNoContent(w, s.DeleteSession(r.PathValue("id")))
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/groups", s.handleGroups)
+	mux.HandleFunc("GET /v1/sessions/{id}/state", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.ReviewState(r.PathValue("id"))
+		respond(w, st, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/decisions", s.handleDecision)
+	return mux
+}
+
+func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	info, err := s.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req OpenSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	info, err := s.OpenSession(r.PathValue("id"), req.Column)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	var wait <-chan struct{}
+	if v := q.Get("wait"); v == "1" || v == "true" {
+		ctx, cancel := context.WithTimeout(r.Context(), maxWait)
+		defer cancel()
+		wait = ctx.Done()
+	}
+	page, err := s.PendingGroups(r.PathValue("id"), limit, wait)
+	respond(w, page, err)
+}
+
+func (s *Service) handleDecision(w http.ResponseWriter, r *http.Request) {
+	var req DecisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	dec, err := goldrec.ParseDecision(req.Decision)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if dec == goldrec.Pending {
+		writeError(w, fmt.Errorf("decision must be approve, approve-backward or reject"))
+		return
+	}
+	res, err := s.Decide(r.PathValue("id"), req.GroupID, dec)
+	respond(w, res, err)
+}
+
+func (s *Service) handleExport(w http.ResponseWriter, r *http.Request, golden bool) {
+	data, err := s.Export(r.PathValue("id"), golden)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		cw := csv.NewWriter(w)
+		cw.Write(append([]string{data.KeyCol}, data.Attrs...))
+		for _, rec := range data.Records {
+			cw.Write(append([]string{rec.Key}, rec.Values...))
+		}
+		cw.Flush()
+		return
+	}
+	writeJSON(w, http.StatusOK, data)
+}
+
+// respond writes v on success and maps service errors to statuses.
+func respond(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func respondNoContent(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrLimit):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

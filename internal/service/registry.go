@@ -1,0 +1,146 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry is a thread-safe map of live objects keyed by opaque ids,
+// with optional TTL-based idle eviction. It is the bookkeeping half of
+// the service: datasets and column sessions each live in one.
+type registry[V any] struct {
+	prefix string
+	ttl    time.Duration // 0 = never expire
+	now    func() time.Time
+
+	mu    sync.RWMutex
+	items map[string]*regItem[V]
+	seq   int
+}
+
+type regItem[V any] struct {
+	val      V
+	seq      int
+	created  time.Time
+	lastUsed time.Time
+}
+
+func newRegistry[V any](prefix string, ttl time.Duration, now func() time.Time) *registry[V] {
+	return &registry[V]{
+		prefix: prefix,
+		ttl:    ttl,
+		now:    now,
+		items:  make(map[string]*regItem[V]),
+	}
+}
+
+// newID returns an unguessable opaque id like "ds_9f86d081884c7d65".
+func (r *registry[V]) newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a sequence-derived id keeps the service alive.
+		return r.prefix + "_" + hex.EncodeToString([]byte{byte(r.seq)})
+	}
+	return r.prefix + "_" + hex.EncodeToString(b[:])
+}
+
+// add stores v under a fresh id and returns the id. assign, when
+// non-nil, receives the id inside the critical section *before* v
+// becomes visible to other registry users, so values that carry their
+// own id field can set it without racing readers.
+func (r *registry[V]) add(v V, assign func(id string)) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.newID()
+	for _, taken := r.items[id]; taken; _, taken = r.items[id] {
+		id = r.newID()
+	}
+	if assign != nil {
+		assign(id)
+	}
+	now := r.now()
+	r.seq++
+	r.items[id] = &regItem[V]{val: v, seq: r.seq, created: now, lastUsed: now}
+	return id
+}
+
+// get returns the value and refreshes its idle timer.
+func (r *registry[V]) get(id string) (V, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it, ok := r.items[id]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	it.lastUsed = r.now()
+	return it.val, true
+}
+
+// touch refreshes the idle timer without reading the value.
+func (r *registry[V]) touch(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[id]; ok {
+		it.lastUsed = r.now()
+	}
+}
+
+// remove deletes the id and returns the removed value.
+func (r *registry[V]) remove(id string) (V, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it, ok := r.items[id]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	delete(r.items, id)
+	return it.val, true
+}
+
+// list returns the live values in creation order.
+func (r *registry[V]) list() []V {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	items := make([]*regItem[V], 0, len(r.items))
+	for _, it := range r.items {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].seq < items[b].seq })
+	out := make([]V, len(items))
+	for i, it := range items {
+		out[i] = it.val
+	}
+	return out
+}
+
+// size returns the number of live entries.
+func (r *registry[V]) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}
+
+// expired returns the ids idle longer than the TTL. The caller removes
+// them (eviction may need per-value teardown the registry cannot do).
+func (r *registry[V]) expired() []string {
+	if r.ttl <= 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cutoff := r.now().Add(-r.ttl)
+	var ids []string
+	for id, it := range r.items {
+		if it.lastUsed.Before(cutoff) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,646 @@
+// Package service implements goldrecd's HTTP consolidation service: a
+// managed registry of uploaded datasets and per-column review sessions,
+// exposing the paper's largest-group-first verification loop
+// (Algorithm 1) to remote reviewers over JSON.
+//
+// The service model maps the library onto long-lived server state:
+//
+//   - A dataset is an uploaded clustered CSV wrapped in a
+//     goldrec.Consolidator, addressed by an opaque id.
+//   - A column session owns the review of one column. Candidate
+//     generation and incremental grouping run in a background
+//     goroutine that keeps a small buffer of pending groups ahead of
+//     the reviewer, so group discovery overlaps with human review
+//     latency instead of blocking each fetch.
+//   - Decisions arrive by group id (goldrec.Session.Decide), so
+//     reviewers need no in-process pointers and can reconnect at any
+//     time (goldrec.Session.ReviewState rebuilds their view).
+//
+// Concurrency: the registries are guarded by sync.RWMutex; each column
+// session serializes access to its goldrec.Session with its own mutex;
+// and a per-dataset RWMutex lets sessions on distinct columns apply
+// concurrently (read side) while golden-record export (write side)
+// sees a quiescent dataset. Idle datasets and sessions are evicted
+// after a TTL.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/table"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound means the dataset or session id is unknown (or was
+	// evicted).
+	ErrNotFound = errors.New("not found")
+	// ErrConflict means the request collides with live state (for
+	// example, a second session on a column under review).
+	ErrConflict = errors.New("conflict")
+	// ErrLimit means the -max-sessions cap is reached.
+	ErrLimit = errors.New("session limit reached")
+	// ErrClosed means the service is shutting down.
+	ErrClosed = errors.New("service closed")
+)
+
+const (
+	defaultPrefetch = 8
+	defaultTTL      = 30 * time.Minute
+)
+
+// Options configure a Service.
+type Options struct {
+	// TTL evicts datasets and sessions idle longer than this
+	// (0 = 30m; negative = never evict).
+	TTL time.Duration
+	// MaxSessions caps live column sessions across all datasets
+	// (0 = unlimited).
+	MaxSessions int
+	// Prefetch is how many undecided groups a session's generator
+	// keeps ready ahead of the reviewer (0 = 8).
+	Prefetch int
+	// Logf, when set, receives one line per notable event.
+	Logf func(format string, args ...any)
+	// JanitorInterval is how often the eviction janitor runs
+	// (0 = TTL/4, only meaningful with a positive TTL).
+	JanitorInterval time.Duration
+
+	// now substitutes the clock in tests.
+	now func() time.Time
+}
+
+// Service owns the dataset and session registries.
+type Service struct {
+	opts     Options
+	datasets *registry[*dataset]
+	sessions *registry[*columnSession]
+
+	mu     sync.Mutex // guards closed and the session-count check-and-add
+	closed bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New returns a ready Service and starts its eviction janitor (when the
+// TTL is positive). Call Close to stop it.
+func New(opts Options) *Service {
+	if opts.TTL == 0 {
+		opts.TTL = defaultTTL
+	}
+	if opts.TTL < 0 {
+		opts.TTL = 0
+	}
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = defaultPrefetch
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	s := &Service{
+		opts:     opts,
+		datasets: newRegistry[*dataset]("ds", opts.TTL, opts.now),
+		sessions: newRegistry[*columnSession]("cs", opts.TTL, opts.now),
+	}
+	if opts.TTL > 0 {
+		interval := opts.JanitorInterval
+		if interval <= 0 {
+			interval = opts.TTL / 4
+		}
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor(interval)
+	}
+	return s
+}
+
+// Close stops the janitor and every session generator. In-flight HTTP
+// requests against removed sessions fail with ErrNotFound.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	for _, cs := range s.sessions.list() {
+		s.closeSession(cs)
+	}
+	for _, d := range s.datasets.list() {
+		s.datasets.remove(d.id)
+	}
+}
+
+func (s *Service) janitor(interval time.Duration) {
+	defer close(s.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			ds, cs := s.EvictExpired()
+			if ds+cs > 0 {
+				s.opts.Logf("janitor: evicted %d dataset(s), %d session(s)", ds, cs)
+			}
+		}
+	}
+}
+
+// EvictExpired removes every dataset and session idle past the TTL and
+// reports how many of each went. The janitor calls it periodically;
+// tests call it directly with a fake clock.
+func (s *Service) EvictExpired() (datasetsEvicted, sessionsEvicted int) {
+	for _, id := range s.sessions.expired() {
+		if cs, ok := s.sessions.get(id); ok {
+			s.closeSession(cs)
+			sessionsEvicted++
+		}
+	}
+	for _, id := range s.datasets.expired() {
+		if _, ok := s.datasets.remove(id); !ok {
+			continue
+		}
+		datasetsEvicted++
+		// A dataset takes its sessions with it.
+		for _, cs := range s.sessions.list() {
+			if cs.datasetID == id {
+				s.closeSession(cs)
+				sessionsEvicted++
+			}
+		}
+	}
+	return datasetsEvicted, sessionsEvicted
+}
+
+// dataset wraps one uploaded Consolidator.
+type dataset struct {
+	id      string
+	created time.Time
+	keyCol  string
+	cons    *goldrec.Consolidator
+
+	// applyMu orders column writes against whole-dataset reads:
+	// sessions hold the read side while applying (distinct columns
+	// never conflict), exports hold the write side so they see a
+	// quiescent dataset.
+	applyMu sync.RWMutex
+
+	// mu guards columns, the one-session-per-column invariant.
+	mu      sync.Mutex
+	columns map[int]string // column index → owning session id
+}
+
+// columnSession owns the review of one column. All fields below mu are
+// guarded by it; cond is signaled whenever pending, exhausted or closed
+// change.
+type columnSession struct {
+	id        string
+	datasetID string
+	column    string
+	col       int
+	d         *dataset
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	sess      *goldrec.Session // nil until candidate generation finishes
+	pending   []*goldrec.Group // issued, undecided, oldest first
+	exhausted bool
+	closed    bool
+}
+
+// CreateDataset ingests a clustered CSV (key column identifies
+// clusters; optional source column populates Record.Source) and
+// registers it.
+func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
+	if err := s.alive(); err != nil {
+		return DatasetInfo{}, err
+	}
+	if name == "" {
+		name = "dataset"
+	}
+	if keyCol == "" {
+		return DatasetInfo{}, fmt.Errorf("missing key column name")
+	}
+	ds, err := table.ReadCSV(csv, name, keyCol, srcCol)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	cons, err := goldrec.New(ds)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	d := &dataset{
+		created: s.opts.now(),
+		keyCol:  keyCol,
+		cons:    cons,
+		columns: make(map[int]string),
+	}
+	s.datasets.add(d, func(id string) { d.id = id })
+	s.opts.Logf("dataset %s: %q ingested (%d clusters, %d records)",
+		d.id, name, len(ds.Clusters), ds.NumRecords())
+	return s.datasetInfo(d), nil
+}
+
+// GetDataset returns a dataset's info and refreshes its idle timer.
+func (s *Service) GetDataset(id string) (DatasetInfo, error) {
+	d, ok := s.datasets.get(id)
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	}
+	return s.datasetInfo(d), nil
+}
+
+// ListDatasets returns every live dataset in creation order.
+func (s *Service) ListDatasets() []DatasetInfo {
+	ds := s.datasets.list()
+	out := make([]DatasetInfo, len(ds))
+	for i, d := range ds {
+		out[i] = s.datasetInfo(d)
+	}
+	return out
+}
+
+// DeleteDataset removes a dataset and closes its sessions.
+func (s *Service) DeleteDataset(id string) error {
+	if _, ok := s.datasets.remove(id); !ok {
+		return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	}
+	for _, cs := range s.sessions.list() {
+		if cs.datasetID == id {
+			s.closeSession(cs)
+		}
+	}
+	s.opts.Logf("dataset %s: deleted", id)
+	return nil
+}
+
+func (s *Service) datasetInfo(d *dataset) DatasetInfo {
+	ds := d.cons.Dataset()
+	d.mu.Lock()
+	sessions := make([]string, 0, len(d.columns))
+	for _, sid := range d.columns {
+		sessions = append(sessions, sid)
+	}
+	d.mu.Unlock()
+	sort.Strings(sessions)
+	return DatasetInfo{
+		ID:       d.id,
+		Name:     ds.Name,
+		Attrs:    append([]string(nil), ds.Attrs...),
+		Clusters: len(ds.Clusters),
+		Records:  ds.NumRecords(),
+		Created:  d.created,
+		Sessions: sessions,
+	}
+}
+
+// OpenSession starts reviewing one column of a dataset. Candidate
+// generation and grouping run in a background goroutine; the call
+// returns as soon as the session is registered.
+func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
+	if err := s.alive(); err != nil {
+		return SessionInfo{}, err
+	}
+	d, ok := s.datasets.get(datasetID)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("dataset %s: %w", datasetID, ErrNotFound)
+	}
+	col := d.cons.Dataset().ColumnIndex(column)
+	if col < 0 {
+		return SessionInfo{}, fmt.Errorf("dataset %s has no column %q", datasetID, column)
+	}
+
+	s.mu.Lock()
+	// Re-check closed under the same hold that registers the session:
+	// a session slipping in after Close() listed the live ones would
+	// leak its generator goroutine forever.
+	if s.closed {
+		s.mu.Unlock()
+		return SessionInfo{}, ErrClosed
+	}
+	if s.opts.MaxSessions > 0 && s.sessions.size() >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("%w (max %d)", ErrLimit, s.opts.MaxSessions)
+	}
+	cs := &columnSession{datasetID: datasetID, column: column, col: col, d: d}
+	cs.cond = sync.NewCond(&cs.mu)
+	d.mu.Lock()
+	if owner, busy := d.columns[col]; busy {
+		d.mu.Unlock()
+		s.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("column %q is under review by session %s: %w", column, owner, ErrConflict)
+	}
+	s.sessions.add(cs, func(id string) { cs.id = id })
+	d.columns[col] = cs.id
+	d.mu.Unlock()
+	s.mu.Unlock()
+
+	go cs.generate(s.opts.Prefetch, s.opts.Logf)
+	s.opts.Logf("session %s: opened on dataset %s column %q", cs.id, datasetID, column)
+	return cs.info(), nil
+}
+
+// generate is the session's background producer: build the
+// goldrec.Session (candidate generation), then keep up to prefetch
+// undecided groups buffered ahead of the reviewer.
+func (cs *columnSession) generate(prefetch int, logf func(string, ...any)) {
+	sess, err := cs.d.cons.ColumnIndex(cs.col)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err != nil {
+		// Unreachable in practice: the column index was validated at
+		// open time. Mark the stream done so waiters return.
+		cs.exhausted = true
+		cs.cond.Broadcast()
+		return
+	}
+	if cs.closed {
+		return
+	}
+	cs.sess = sess
+	cs.cond.Broadcast()
+	logf("session %s: %d candidate replacements", cs.id, sess.Stats().Candidates)
+	for {
+		for len(cs.pending) >= prefetch && !cs.closed {
+			cs.cond.Wait()
+		}
+		if cs.closed {
+			return
+		}
+		// NextGroup runs under cs.mu: it mutates the engine's shared
+		// state, which Decide (Apply path) also touches. The buffer
+		// means the reviewer still mostly hits ready groups.
+		g, ok := sess.NextGroup()
+		if !ok {
+			cs.exhausted = true
+			cs.cond.Broadcast()
+			logf("session %s: group stream exhausted after %d group(s)", cs.id, sess.Stats().GroupsSeen)
+			return
+		}
+		cs.pending = append(cs.pending, g)
+		cs.cond.Broadcast()
+	}
+}
+
+// GetSession returns a session's info and refreshes its idle timer
+// (and its dataset's).
+func (s *Service) GetSession(id string) (SessionInfo, error) {
+	cs, err := s.session(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return cs.info(), nil
+}
+
+// ListSessions returns every live session in creation order.
+func (s *Service) ListSessions() []SessionInfo {
+	css := s.sessions.list()
+	out := make([]SessionInfo, len(css))
+	for i, cs := range css {
+		out[i] = cs.info()
+	}
+	return out
+}
+
+// DeleteSession closes a session and frees its column for a new one.
+func (s *Service) DeleteSession(id string) error {
+	cs, ok := s.sessions.get(id)
+	if !ok {
+		return fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	s.closeSession(cs)
+	s.opts.Logf("session %s: deleted", id)
+	return nil
+}
+
+// closeSession unregisters the session, stops its generator and frees
+// its column slot. Idempotent.
+func (s *Service) closeSession(cs *columnSession) {
+	s.sessions.remove(cs.id)
+	cs.d.mu.Lock()
+	if cs.d.columns[cs.col] == cs.id {
+		delete(cs.d.columns, cs.col)
+	}
+	cs.d.mu.Unlock()
+	cs.mu.Lock()
+	cs.closed = true
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
+}
+
+// session fetches a live session and touches its dataset so a dataset
+// never expires under an active reviewer.
+func (s *Service) session(id string) (*columnSession, error) {
+	cs, ok := s.sessions.get(id)
+	if !ok {
+		return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	s.datasets.touch(cs.datasetID)
+	return cs, nil
+}
+
+func (cs *columnSession) info() SessionInfo {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	info := SessionInfo{
+		ID:        cs.id,
+		DatasetID: cs.datasetID,
+		Column:    cs.column,
+		Status:    cs.statusLocked(),
+		Pending:   len(cs.pending),
+	}
+	if cs.sess != nil {
+		info.Stats = cs.sess.Stats()
+	}
+	return info
+}
+
+func (cs *columnSession) statusLocked() string {
+	switch {
+	case cs.closed:
+		return StatusClosed
+	case cs.sess == nil:
+		return StatusInitializing
+	case cs.exhausted && len(cs.pending) == 0:
+		return StatusExhausted
+	default:
+		return StatusReviewing
+	}
+}
+
+// PendingGroups returns up to limit undecided groups (0 = all buffered
+// plus whatever more the generator has ready), oldest first. When wait
+// is non-nil, an empty buffer blocks until a group arrives, the stream
+// ends, or wait is canceled.
+func (s *Service) PendingGroups(id string, limit int, wait <-chan struct{}) (GroupPage, error) {
+	cs, err := s.session(id)
+	if err != nil {
+		return GroupPage{}, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if wait != nil {
+		for len(cs.pending) == 0 && !cs.exhausted && !cs.closed && !chanClosed(wait) {
+			cs.waitOrCancel(wait)
+		}
+	}
+	if cs.closed {
+		return GroupPage{}, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	page := GroupPage{Status: cs.statusLocked(), Pending: len(cs.pending)}
+	n := len(cs.pending)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	page.Groups = make([]goldrec.GroupState, 0, n)
+	for _, g := range cs.pending[:n] {
+		page.Groups = append(page.Groups, goldrec.GroupState{
+			ID:        g.ID,
+			Program:   g.Program,
+			Structure: g.Structure,
+			Pairs:     append([]goldrec.Replacement(nil), g.Pairs...),
+			Decision:  g.Decision(),
+		})
+	}
+	return page, nil
+}
+
+// waitOrCancel waits on cond but also wakes when cancel closes. The
+// watcher goroutine re-broadcasts so every waiter rechecks its
+// predicate (including chanClosed(cancel)).
+func (cs *columnSession) waitOrCancel(cancel <-chan struct{}) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			cs.mu.Lock()
+			cs.cond.Broadcast()
+			cs.mu.Unlock()
+		case <-done:
+		}
+	}()
+	cs.cond.Wait()
+	close(done)
+}
+
+func chanClosed(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// Decide records the reviewer's verdict for one issued group and, for
+// approvals, applies the replacements. Distinct-column sessions of the
+// same dataset can apply concurrently; exports serialize against them.
+func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
+	cs, err := s.session(id)
+	if err != nil {
+		return DecisionResult{}, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return DecisionResult{}, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	if cs.sess == nil {
+		return DecisionResult{}, fmt.Errorf("session %s is still initializing: %w", id, ErrConflict)
+	}
+	cs.d.applyMu.RLock()
+	stats, err := cs.sess.Decide(groupID, decision)
+	cs.d.applyMu.RUnlock()
+	if err != nil {
+		return DecisionResult{}, fmt.Errorf("%w: %w", ErrConflict, err)
+	}
+	for i, g := range cs.pending {
+		if g.ID == groupID {
+			cs.pending = append(cs.pending[:i], cs.pending[i+1:]...)
+			break
+		}
+	}
+	// A freed buffer slot lets the generator pull the next group while
+	// the reviewer reads the response.
+	cs.cond.Broadcast()
+	return DecisionResult{
+		GroupID:  groupID,
+		Decision: decision,
+		Applied:  stats,
+		Stats:    cs.sess.Stats(),
+	}, nil
+}
+
+// ReviewState snapshots a session's full review progress.
+func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
+	cs, err := s.session(id)
+	if err != nil {
+		return goldrec.ReviewState{}, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.sess == nil {
+		ds := cs.d.cons.Dataset()
+		return goldrec.ReviewState{Dataset: ds.Name, Column: cs.column}, nil
+	}
+	return cs.sess.ReviewState(), nil
+}
+
+// Export renders the dataset's records. Golden exports run truth
+// discovery over the standardized dataset (Algorithm 1 line 10);
+// standardized exports dump the current cell values. Both hold the
+// dataset's write lock so no session applies mid-read.
+func (s *Service) Export(datasetID string, golden bool) (ExportData, error) {
+	d, ok := s.datasets.get(datasetID)
+	if !ok {
+		return ExportData{}, fmt.Errorf("dataset %s: %w", datasetID, ErrNotFound)
+	}
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	ds := d.cons.Dataset()
+	out := ExportData{KeyCol: d.keyCol, Attrs: append([]string(nil), ds.Attrs...)}
+	if golden {
+		for ci, rec := range d.cons.GoldenRecords() {
+			out.Records = append(out.Records, ExportRecord{
+				Key:    ds.Clusters[ci].Key,
+				Values: append([]string(nil), rec.Values...),
+			})
+		}
+		return out, nil
+	}
+	for ci := range ds.Clusters {
+		for _, rec := range ds.Clusters[ci].Records {
+			out.Records = append(out.Records, ExportRecord{
+				Key:    ds.Clusters[ci].Key,
+				Values: append([]string(nil), rec.Values...),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (s *Service) alive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"time"
+
+	"github.com/goldrec/goldrec"
+)
+
+// Session lifecycle states reported by SessionInfo.Status.
+const (
+	// StatusInitializing: candidate generation is still running.
+	StatusInitializing = "initializing"
+	// StatusReviewing: groups are available or being generated.
+	StatusReviewing = "reviewing"
+	// StatusExhausted: the stream ended and no undecided groups remain.
+	StatusExhausted = "exhausted"
+	// StatusClosed: the session was deleted or evicted.
+	StatusClosed = "closed"
+)
+
+// DatasetInfo describes one uploaded dataset.
+type DatasetInfo struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Attrs    []string  `json:"attrs"`
+	Clusters int       `json:"clusters"`
+	Records  int       `json:"records"`
+	Created  time.Time `json:"created"`
+	// Sessions lists the ids of the column sessions currently open on
+	// this dataset.
+	Sessions []string `json:"sessions"`
+}
+
+// SessionInfo describes one column session.
+type SessionInfo struct {
+	ID        string               `json:"id"`
+	DatasetID string               `json:"dataset_id"`
+	Column    string               `json:"column"`
+	Status    string               `json:"status"`
+	Pending   int                  `json:"pending"`
+	Stats     goldrec.SessionStats `json:"stats"`
+}
+
+// GroupPage is one page of undecided groups.
+type GroupPage struct {
+	Status string `json:"status"`
+	// Pending counts all buffered undecided groups, not just the ones
+	// on this page.
+	Pending int                  `json:"pending"`
+	Groups  []goldrec.GroupState `json:"groups"`
+}
+
+// DecisionRequest is the body of POST /v1/sessions/{id}/decisions.
+type DecisionRequest struct {
+	GroupID int `json:"group_id"`
+	// Decision is "approve", "approve-backward" or "reject".
+	Decision string `json:"decision"`
+}
+
+// DecisionResult reports one decision's effect.
+type DecisionResult struct {
+	GroupID  int                  `json:"group_id"`
+	Decision goldrec.Decision     `json:"decision"`
+	Applied  goldrec.ApplyStats   `json:"applied"`
+	Stats    goldrec.SessionStats `json:"stats"`
+}
+
+// OpenSessionRequest is the body of POST /v1/datasets/{id}/sessions.
+type OpenSessionRequest struct {
+	Column string `json:"column"`
+}
+
+// ExportRecord is one exported row.
+type ExportRecord struct {
+	Key    string   `json:"key"`
+	Values []string `json:"values"`
+}
+
+// ExportData is a dataset export (standardized records or golden
+// records), renderable as JSON or CSV.
+type ExportData struct {
+	KeyCol  string         `json:"key_col"`
+	Attrs   []string       `json:"attrs"`
+	Records []ExportRecord `json:"records"`
+}

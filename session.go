@@ -1,6 +1,9 @@
 package goldrec
 
 import (
+	"encoding/json"
+	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/goldrec/goldrec/internal/core"
@@ -12,6 +15,13 @@ import (
 
 // Session standardizes one column: it owns the candidate replacements,
 // their replacement sets, and the grouping engine.
+//
+// A Session is not safe for concurrent use; callers that share one
+// across goroutines must serialize access (the goldrecd service wraps
+// every session in a mutex). Sessions on *distinct* columns of the same
+// dataset may run concurrently: candidate generation and Apply read and
+// write only the session's own column. Open at most one session per
+// column, and do not read golden records while any session is applying.
 type Session struct {
 	cons  *Consolidator
 	col   int
@@ -23,9 +33,17 @@ type Session struct {
 	upfront    []*core.Group
 	upfrontSet bool
 
+	// issued tracks the groups handed out by NextGroup, indexed by
+	// Group.ID, so that decisions can arrive by id (for example over
+	// the wire) rather than via the *Group pointer.
+	issued []*Group
+
 	// exported tracks the groups written by ExportReview so that
 	// ApplyReview can address them by id.
 	exported []*Group
+
+	// exhausted is set once NextGroup has reported no groups remain.
+	exhausted bool
 
 	stats SessionStats
 }
@@ -33,28 +51,34 @@ type Session struct {
 // SessionStats summarizes a session's progress.
 type SessionStats struct {
 	// Candidates is the number of candidate replacements generated.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// GroupsSeen counts groups handed out by NextGroup/Groups.
-	GroupsSeen int
+	GroupsSeen int `json:"groups_seen"`
 	// GroupsApplied counts approved + applied groups.
-	GroupsApplied int
+	GroupsApplied int `json:"groups_applied"`
 	// CellsChanged counts cell updates from applied groups.
-	CellsChanged int
+	CellsChanged int `json:"cells_changed"`
 }
 
 // Replacement is one member of a group, for display and auditing.
 type Replacement struct {
 	// LHS and RHS are the candidate pair; applying Forward rewrites
 	// LHS-sites to RHS.
-	LHS, RHS string
+	LHS string `json:"lhs"`
+	RHS string `json:"rhs"`
 	// Sites is the current size of the replacement set |L[lhs→rhs]| —
 	// how many cells the replacement would touch.
-	Sites int
+	Sites int `json:"sites"`
 }
 
 // Group is a replacement group sharing one transformation program, ready
 // for human verification (Section 3 Step 3).
 type Group struct {
+	// ID addresses the group within its session: groups handed out by
+	// NextGroup get sequential ids starting at 0, usable with
+	// Session.Group and Session.Decide. Preview groups from
+	// Session.Groups are not issued and carry ID -1.
+	ID int
 	// Program renders the shared transformation in the paper's DSL
 	// notation, e.g. "SubStr(...) ⊕ ConstantStr(". ") ⊕ SubStr(...)".
 	Program string
@@ -64,8 +88,78 @@ type Group struct {
 	// first.
 	Pairs []Replacement
 
-	members []*replace.Candidate
+	members  []*replace.Candidate
+	decision Decision
+	applied  ApplyStats
 }
+
+// Decision is the reviewer's verdict on an issued group.
+type Decision int
+
+const (
+	// Pending means no decision has been recorded yet.
+	Pending Decision = iota
+	// Approved applies the group Forward.
+	Approved
+	// ApprovedBackward applies the group Backward.
+	ApprovedBackward
+	// Rejected records that the group must not be applied.
+	Rejected
+)
+
+// String returns the review-file spelling of the decision.
+func (d Decision) String() string {
+	switch d {
+	case Pending:
+		return "pending"
+	case Approved:
+		return "approve"
+	case ApprovedBackward:
+		return "approve-backward"
+	case Rejected:
+		return "reject"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// MarshalJSON renders the decision as its String form.
+func (d Decision) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the String form (see ParseDecision).
+func (d *Decision) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseDecision(s)
+	if err != nil {
+		return err
+	}
+	*d = parsed
+	return nil
+}
+
+// ParseDecision converts a review-file decision string ("approve",
+// "approve-backward", "reject", "pending" or "") to a Decision.
+func ParseDecision(s string) (Decision, error) {
+	switch s {
+	case "approve":
+		return Approved, nil
+	case "approve-backward":
+		return ApprovedBackward, nil
+	case "reject":
+		return Rejected, nil
+	case "", "pending":
+		return Pending, nil
+	}
+	return Pending, fmt.Errorf("goldrec: unknown decision %q", s)
+}
+
+// Decision reports the verdict recorded for the group (Pending until
+// Decide or Apply is called on it).
+func (g *Group) Decision() Decision { return g.decision }
 
 // Size returns the number of member replacements.
 func (g *Group) Size() int { return len(g.Pairs) }
@@ -109,6 +203,7 @@ func newSession(cons *Consolidator, col int) *Session {
 // replacement sets have emptied since grouping.
 func (s *Session) publicGroup(g *core.Group) *Group {
 	out := &Group{
+		ID:        -1,
 		Program:   g.Program.String(),
 		Structure: strings.ReplaceAll(g.Sig, "\x00", " → "),
 	}
@@ -121,14 +216,31 @@ func (s *Session) publicGroup(g *core.Group) *Group {
 			Sites: cand.SiteCount(),
 		})
 	}
-	// Largest replacement sets first for display.
-	for i := 1; i < len(out.Pairs); i++ {
-		for j := i; j > 0 && out.Pairs[j].Sites > out.Pairs[j-1].Sites; j-- {
-			out.Pairs[j], out.Pairs[j-1] = out.Pairs[j-1], out.Pairs[j]
-			out.members[j], out.members[j-1] = out.members[j-1], out.members[j]
-		}
+	// Largest replacement sets first for display; Pairs and members
+	// reorder together through a shared index.
+	idx := make([]int, len(out.Pairs))
+	for i := range idx {
+		idx[i] = i
 	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return out.Pairs[idx[a]].Sites > out.Pairs[idx[b]].Sites
+	})
+	pairs := make([]Replacement, len(out.Pairs))
+	members := make([]*replace.Candidate, len(out.members))
+	for i, j := range idx {
+		pairs[i] = out.Pairs[j]
+		members[i] = out.members[j]
+	}
+	out.Pairs, out.members = pairs, members
 	return out
+}
+
+// issue registers a group handed out by NextGroup and assigns its id.
+func (s *Session) issue(g *Group) *Group {
+	g.ID = len(s.issued)
+	s.issued = append(s.issued, g)
+	s.stats.GroupsSeen++
+	return g
 }
 
 // NextGroup returns the next largest remaining group (Algorithm 7 when
@@ -138,22 +250,63 @@ func (s *Session) NextGroup() (*Group, bool) {
 	if s.cons.cfg.algorithm == Incremental {
 		g := s.eng.NextGroup()
 		if g == nil {
+			s.exhausted = true
 			return nil, false
 		}
-		s.stats.GroupsSeen++
-		return s.publicGroup(g), true
+		return s.issue(s.publicGroup(g)), true
 	}
 	if !s.upfrontSet {
 		s.upfront = s.eng.AllGroups(s.mode())
 		s.upfrontSet = true
 	}
 	if len(s.upfront) == 0 {
+		s.exhausted = true
 		return nil, false
 	}
 	g := s.upfront[0]
 	s.upfront = s.upfront[1:]
-	s.stats.GroupsSeen++
-	return s.publicGroup(g), true
+	return s.issue(s.publicGroup(g)), true
+}
+
+// Exhausted reports whether NextGroup has run out of groups. More
+// groups never appear after that: applying decisions only shrinks the
+// remaining work.
+func (s *Session) Exhausted() bool { return s.exhausted }
+
+// Group returns a previously issued group by id (ok is false for ids
+// NextGroup has not handed out).
+func (s *Session) Group(id int) (*Group, bool) {
+	if id < 0 || id >= len(s.issued) {
+		return nil, false
+	}
+	return s.issued[id], true
+}
+
+// Decide records a verdict for an issued group and, for the approve
+// decisions, applies it in the corresponding direction. It errs on
+// unknown ids, on Pending, and on groups that already have a decision —
+// each group is decided exactly once.
+func (s *Session) Decide(id int, d Decision) (ApplyStats, error) {
+	g, ok := s.Group(id)
+	if !ok {
+		return ApplyStats{}, fmt.Errorf("goldrec: no issued group %d (have %d)", id, len(s.issued))
+	}
+	if d == Pending {
+		return ApplyStats{}, fmt.Errorf("goldrec: group %d: Pending is not a decision", id)
+	}
+	if g.decision != Pending {
+		return ApplyStats{}, fmt.Errorf("goldrec: group %d already decided (%s)", id, g.decision)
+	}
+	switch d {
+	case Approved:
+		return s.Apply(g, Forward), nil
+	case ApprovedBackward:
+		return s.Apply(g, Backward), nil
+	case Rejected:
+		g.decision = Rejected
+		return ApplyStats{}, nil
+	}
+	return ApplyStats{}, fmt.Errorf("goldrec: group %d: unknown decision %d", id, int(d))
 }
 
 // Groups pre-generates up to limit groups (0 = all), largest first,
@@ -186,14 +339,16 @@ func (s *Session) mode() core.Mode {
 type ApplyStats struct {
 	// PairsApplied counts member replacements with at least one
 	// changed cell.
-	PairsApplied int
+	PairsApplied int `json:"pairs_applied"`
 	// CellsChanged counts updated cells.
-	CellsChanged int
+	CellsChanged int `json:"cells_changed"`
 }
 
 // Apply performs every member replacement of an approved group in the
 // given direction, updates the replacement sets (Section 7.1), and
-// removes emptied candidates from the grouping engine.
+// removes emptied candidates from the grouping engine. On issued groups
+// it also records the decision (Approved or ApprovedBackward) so that
+// ReviewState reflects it.
 func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 	var stats ApplyStats
 	for _, cand := range g.members {
@@ -215,11 +370,68 @@ func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 	}
 	s.stats.GroupsApplied++
 	s.stats.CellsChanged += stats.CellsChanged
+	if g.decision == Pending {
+		if dir == Backward {
+			g.decision = ApprovedBackward
+		} else {
+			g.decision = Approved
+		}
+		g.applied = stats
+	}
 	return stats
 }
 
 // Stats returns the session's progress counters.
 func (s *Session) Stats() SessionStats { return s.stats }
+
+// GroupState is the serializable snapshot of one issued group.
+type GroupState struct {
+	ID        int           `json:"id"`
+	Program   string        `json:"program"`
+	Structure string        `json:"structure"`
+	Pairs     []Replacement `json:"pairs"`
+	Decision  Decision      `json:"decision"`
+	// Applied reports the apply stats for approved groups (zero for
+	// pending and rejected ones).
+	Applied ApplyStats `json:"applied"`
+}
+
+// ReviewState is the serializable snapshot of a session's review
+// progress: every issued group with its decision, plus the counters.
+// Services use it to page pending groups to remote reviewers and to
+// rebuild their view after a reconnect.
+type ReviewState struct {
+	Dataset string `json:"dataset"`
+	Column  string `json:"column"`
+	// Exhausted is true once the group stream has ended.
+	Exhausted bool         `json:"exhausted"`
+	Stats     SessionStats `json:"stats"`
+	Groups    []GroupState `json:"groups"`
+}
+
+// ReviewState snapshots the issued groups and their decisions. The
+// snapshot is a deep-enough copy: mutating it does not affect the
+// session.
+func (s *Session) ReviewState() ReviewState {
+	st := ReviewState{
+		Dataset:   s.cons.ds.Name,
+		Column:    s.cons.ds.Attrs[s.col],
+		Exhausted: s.exhausted,
+		Stats:     s.stats,
+		Groups:    make([]GroupState, len(s.issued)),
+	}
+	for i, g := range s.issued {
+		st.Groups[i] = GroupState{
+			ID:        g.ID,
+			Program:   g.Program,
+			Structure: g.Structure,
+			Pairs:     append([]Replacement(nil), g.Pairs...),
+			Decision:  g.decision,
+			Applied:   g.applied,
+		}
+	}
+	return st
+}
 
 // OracleVerifier returns a verification callback backed by ground truth:
 // a simulated human that approves a group when at least threshold of its
@@ -241,8 +453,9 @@ func (s *Session) OracleVerifier(tr *table.Truth, threshold float64) func(*Group
 
 // RunBudget drives the verification loop of Algorithm 1 (lines 5-9):
 // fetch groups largest-first, ask verify for a decision, apply approved
-// groups, and stop after budget groups (0 = until exhausted). It returns
-// the number of groups reviewed.
+// groups, and stop after budget groups (0 = until exhausted). Every
+// reviewed group gets its decision recorded, so ReviewState afterwards
+// shows no Pending entries. It returns the number of groups reviewed.
 func (s *Session) RunBudget(budget int, verify func(*Group) (bool, Direction)) int {
 	reviewed := 0
 	for budget <= 0 || reviewed < budget {
@@ -253,6 +466,8 @@ func (s *Session) RunBudget(budget int, verify func(*Group) (bool, Direction)) i
 		reviewed++
 		if ok, dir := verify(g); ok {
 			s.Apply(g, dir)
+		} else {
+			g.decision = Rejected
 		}
 	}
 	return reviewed

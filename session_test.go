@@ -1,0 +1,191 @@
+package goldrec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunBudgetExceedsAvailable: a budget far larger than the group
+// stream reviews exactly the available groups and leaves the session
+// exhausted.
+func TestRunBudgetExceedsAvailable(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	reviewed := sess.RunBudget(10000, func(g *Group) (bool, Direction) {
+		return false, Forward
+	})
+	if reviewed == 0 || reviewed >= 10000 {
+		t.Fatalf("reviewed = %d, want the (small) number of available groups", reviewed)
+	}
+	if !sess.Exhausted() {
+		t.Error("session not exhausted after oversized budget")
+	}
+	if g, ok := sess.NextGroup(); ok {
+		t.Errorf("NextGroup after exhaustion returned group %d", g.ID)
+	}
+	if got := sess.Stats().GroupsSeen; got != reviewed {
+		t.Errorf("GroupsSeen = %d, want %d", got, reviewed)
+	}
+}
+
+// TestRunBudgetRejectAll: rejecting every group applies nothing and
+// leaves the dataset untouched.
+func TestRunBudgetRejectAll(t *testing.T) {
+	ds, _ := paperTable1()
+	pristine := ds.Clone()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	reviewed := sess.RunBudget(0, func(g *Group) (bool, Direction) {
+		return false, Forward
+	})
+	st := sess.Stats()
+	if st.GroupsSeen != reviewed {
+		t.Errorf("GroupsSeen = %d, want %d", st.GroupsSeen, reviewed)
+	}
+	if st.GroupsApplied != 0 || st.CellsChanged != 0 {
+		t.Errorf("reject-all applied %d groups, changed %d cells", st.GroupsApplied, st.CellsChanged)
+	}
+	if !reflect.DeepEqual(ds.Clusters, pristine.Clusters) {
+		t.Error("reject-all mutated the dataset")
+	}
+}
+
+// TestRunBudgetMixed: after a mixed approve/reject run the counters
+// stay mutually consistent and agree with the per-group apply stats in
+// the review state.
+func TestRunBudgetMixed(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	approvals := 0
+	reviewed := sess.RunBudget(0, func(g *Group) (bool, Direction) {
+		if g.ID%2 == 0 {
+			approvals++
+			return true, Forward
+		}
+		return false, Forward
+	})
+	st := sess.Stats()
+	if st.GroupsSeen != reviewed {
+		t.Errorf("GroupsSeen = %d, want %d", st.GroupsSeen, reviewed)
+	}
+	if st.GroupsApplied != approvals {
+		t.Errorf("GroupsApplied = %d, want %d", st.GroupsApplied, approvals)
+	}
+	if approvals == 0 || st.CellsChanged == 0 {
+		t.Fatalf("mixed run approved %d groups, changed %d cells; expected some of each",
+			approvals, st.CellsChanged)
+	}
+
+	state := sess.ReviewState()
+	if len(state.Groups) != reviewed {
+		t.Fatalf("review state has %d groups, want %d", len(state.Groups), reviewed)
+	}
+	sumCells, decided := 0, 0
+	for _, g := range state.Groups {
+		if g.Decision == Pending {
+			t.Errorf("group %d still pending after RunBudget", g.ID)
+			continue
+		}
+		decided++
+		sumCells += g.Applied.CellsChanged
+	}
+	if decided != reviewed {
+		t.Errorf("decided = %d, want %d", decided, reviewed)
+	}
+	if sumCells != st.CellsChanged {
+		t.Errorf("per-group cells sum to %d, stats say %d", sumCells, st.CellsChanged)
+	}
+}
+
+// TestRunBudgetStopsAtBudget: the loop hands out exactly budget groups
+// when more are available.
+func TestRunBudgetStopsAtBudget(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	if reviewed := sess.RunBudget(2, func(*Group) (bool, Direction) { return false, Forward }); reviewed != 2 {
+		t.Fatalf("reviewed = %d, want 2", reviewed)
+	}
+	if sess.Exhausted() {
+		t.Error("exhausted after a capped run with groups remaining")
+	}
+}
+
+// TestDecideByID covers the id-addressed decision surface the service
+// layer is built on.
+func TestDecideByID(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	g0, ok := sess.NextGroup()
+	if !ok || g0.ID != 0 {
+		t.Fatalf("first group = %+v, ok=%v; want id 0", g0, ok)
+	}
+	g1, ok := sess.NextGroup()
+	if !ok || g1.ID != 1 {
+		t.Fatalf("second group id = %d, want 1", g1.ID)
+	}
+	if got, ok := sess.Group(0); !ok || got != g0 {
+		t.Error("Group(0) does not return the issued group")
+	}
+	if _, ok := sess.Group(99); ok {
+		t.Error("Group(99) should not resolve")
+	}
+
+	if _, err := sess.Decide(0, Pending); err == nil {
+		t.Error("Decide(Pending) should fail")
+	}
+	stats, err := sess.Decide(0, Approved)
+	if err != nil {
+		t.Fatalf("Decide(0, Approved): %v", err)
+	}
+	if stats.CellsChanged == 0 {
+		t.Error("approving the largest group changed nothing")
+	}
+	if g0.Decision() != Approved {
+		t.Errorf("group 0 decision = %v, want Approved", g0.Decision())
+	}
+	if _, err := sess.Decide(0, Rejected); err == nil {
+		t.Error("double decision should fail")
+	}
+	if _, err := sess.Decide(42, Approved); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if _, err := sess.Decide(1, Rejected); err != nil {
+		t.Fatalf("Decide(1, Rejected): %v", err)
+	}
+	if sess.Stats().GroupsApplied != 1 {
+		t.Errorf("GroupsApplied = %d, want 1 (reject must not apply)", sess.Stats().GroupsApplied)
+	}
+}
+
+// TestPublicGroupOrdering: members stay aligned with their pairs after
+// the largest-first sort.
+func TestPublicGroupOrdering(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Address")
+	for {
+		g, ok := sess.NextGroup()
+		if !ok {
+			break
+		}
+		for i := 1; i < len(g.Pairs); i++ {
+			if g.Pairs[i].Sites > g.Pairs[i-1].Sites {
+				t.Fatalf("group %d pairs not sorted by sites: %+v", g.ID, g.Pairs)
+			}
+		}
+		for i, m := range g.members {
+			if m.LHS != g.Pairs[i].LHS || m.RHS != g.Pairs[i].RHS {
+				t.Fatalf("group %d member %d (%s→%s) misaligned with pair %+v",
+					g.ID, i, m.LHS, m.RHS, g.Pairs[i])
+			}
+		}
+	}
+}
