@@ -4,7 +4,12 @@
 // any HTTP client, and export golden records. See docs/goldrecd.md for
 // a curl walkthrough of the API.
 //
-//	goldrecd -addr :8080 -ttl 30m -max-sessions 64
+//	goldrecd -addr :8080 -ttl 30m -max-sessions 64 -data-dir /var/lib/goldrecd
+//
+// With -data-dir, every dataset and reviewer decision is persisted (a
+// snapshot per dataset plus an append-only decision log per session)
+// and restored on boot, so restarts and TTL evictions never discard
+// review work. Without it, state is memory-only and eviction deletes.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting.
@@ -14,7 +19,10 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -22,53 +30,117 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/service"
+	"github.com/goldrec/goldrec/internal/store"
 )
 
-func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		ttl         = flag.Duration("ttl", 30*time.Minute, "evict datasets and sessions idle longer than this (0 = never)")
-		maxSessions = flag.Int("max-sessions", 0, "maximum live column sessions across all datasets (0 = unlimited)")
-		prefetch    = flag.Int("prefetch", 0, "groups each session keeps buffered ahead of the reviewer (0 = default)")
-	)
-	flag.Parse()
+// errUsage marks errors the FlagSet has already reported to the user;
+// main exits without printing them a second time.
+var errUsage = errors.New("usage")
 
-	logger := log.New(os.Stderr, "goldrecd: ", log.LstdFlags)
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "goldrecd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body: it parses args with its own FlagSet,
+// builds the store and service, recovers persisted state, serves until
+// ctx is canceled, then drains. If ready is non-nil it receives the
+// bound listen address once the server is accepting connections.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("goldrecd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		ttl         = fs.Duration("ttl", 30*time.Minute, "evict datasets and sessions idle longer than this (0 = never)")
+		maxSessions = fs.Int("max-sessions", 0, "maximum live column sessions across all datasets (0 = unlimited)")
+		prefetch    = fs.Int("prefetch", 0, "groups each session keeps buffered ahead of the reviewer (0 = default)")
+		dataDir     = fs.String("data-dir", "", "persist datasets and decision logs here and recover them on boot (empty = memory only)")
+		maxUpload   = fs.Int64("max-upload-bytes", 0, "maximum dataset upload body size in bytes (0 = unlimited)")
+		noSync      = fs.Bool("no-sync", false, "skip fsync on decision-log appends (faster; a host crash may lose the latest decisions)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: unexpected arguments: %v", errUsage, fs.Args())
+	}
+
+	logger := log.New(stderr, "goldrecd: ", log.LstdFlags)
+
+	var st store.Store = store.Null{}
+	if *dataDir != "" {
+		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
+			return fmt.Errorf("-data-dir %q is not a directory", *dataDir)
+		}
+		fsStore, err := store.OpenFS(*dataDir, store.FSOptions{NoSync: *noSync})
+		if err != nil {
+			return fmt.Errorf("opening -data-dir: %w", err)
+		}
+		defer fsStore.Close()
+		st = fsStore
+	}
+
 	svcTTL := *ttl
 	if svcTTL == 0 {
 		svcTTL = -1 // Options treats 0 as "use default"; negative disables.
 	}
 	svc := service.New(service.Options{
-		TTL:         svcTTL,
-		MaxSessions: *maxSessions,
-		Prefetch:    *prefetch,
-		Logf:        logger.Printf,
+		TTL:            svcTTL,
+		MaxSessions:    *maxSessions,
+		Prefetch:       *prefetch,
+		Store:          st,
+		MaxUploadBytes: *maxUpload,
+		Logf:           logger.Printf,
 	})
 	defer svc.Close()
 
+	if *dataDir != "" {
+		datasets, sessions, err := svc.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering from %s: %w", *dataDir, err)
+		}
+		logger.Printf("recovered %d dataset(s), %d session(s) from %s", datasets, sessions, *dataDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           logRequests(logger, svc.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (ttl=%v max-sessions=%d)", *addr, *ttl, *maxSessions)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q)", ln.Addr(), *ttl, *maxSessions, *dataDir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("server: %v", err)
+		return fmt.Errorf("server: %w", err)
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("shutdown: %v", err)
+		return fmt.Errorf("shutdown: %w", err)
 	}
+	return nil
 }
 
 // logRequests logs one line per request: method, path, status, size,

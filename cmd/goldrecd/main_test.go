@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-nope"}, io.Discard, nil); !errors.Is(err, errUsage) {
+		t.Errorf("unknown flag: %v, want errUsage", err)
+	}
+	if err := run(ctx, []string{"stray"}, io.Discard, nil); !errors.Is(err, errUsage) {
+		t.Errorf("stray argument: %v, want errUsage", err)
+	}
+	if err := run(ctx, []string{"-h"}, io.Discard, nil); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestRunDataDirValidation(t *testing.T) {
+	// A -data-dir that is an existing *file* must be rejected.
+	f := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-data-dir", f}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Errorf("file as -data-dir: %v", err)
+	}
+
+	// A bad listen address surfaces as an error, not a hang.
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, io.Discard, nil); err == nil {
+		t.Error("bad -addr accepted")
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port with
+// persistence on, hits the API, and verifies graceful shutdown on
+// context cancel.
+func TestRunServesAndShutsDown(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ttl", "0"}, io.Discard, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// Upload through the real stack so the -data-dir actually fills.
+	csv := "key,Name\nC1,Mary Lee\nC1,M. Lee\n"
+	resp, err = http.Post("http://"+addr+"/v1/datasets?name=t&key=key", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	if entries, err := os.ReadDir(filepath.Join(dataDir, "datasets")); err != nil || len(entries) != 1 {
+		t.Fatalf("data dir after upload: %v entries, err %v", entries, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+
+	// A second boot from the same -data-dir recovers the dataset.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ttl", "0"}, io.Discard, ready2)
+	}()
+	select {
+	case addr = <-ready2:
+	case err := <-done2:
+		t.Fatalf("second run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("second server never became ready")
+	}
+	resp, err = http.Get("http://" + addr + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"clusters": 1`) {
+		t.Fatalf("recovered dataset listing = %s", body)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

@@ -78,7 +78,13 @@ func (s *Service) Handler() http.Handler {
 
 func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	info, err := s.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), r.Body)
+	body := r.Body
+	if s.opts.MaxUploadBytes > 0 {
+		// The CSV is parsed row by row (table.CSVReader), so the cap on
+		// the raw body is the only memory bound the handler needs.
+		body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	}
+	info, err := s.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), body)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -178,6 +184,7 @@ func respondNoContent(w http.ResponseWriter, err error) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	var tooLarge *http.MaxBytesError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
@@ -187,6 +194,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrStorage):
+		status = http.StatusInternalServerError
+	case errors.As(err, &tooLarge):
+		status = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

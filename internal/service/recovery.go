@@ -1,0 +1,146 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/store"
+)
+
+// Recover reloads every persisted dataset and session from the store,
+// rebuilding the registries exactly as they were: finished (compacted)
+// sessions come back serving their archived ReviewState, mid-review
+// sessions replay their WAL over the dataset snapshot in the background
+// and then resume generating groups. goldrecd calls this once at boot,
+// before serving traffic; datasets that fail to restore are logged and
+// skipped so one corrupt entry cannot hold the whole service down.
+func (s *Service) Recover() (datasets, sessions int, err error) {
+	metas, err := s.store.ListDatasets()
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: listing datasets: %v", ErrStorage, err)
+	}
+	for _, m := range metas {
+		_, n, err := s.restoreDataset(m.ID)
+		if err != nil {
+			s.opts.Logf("recover: dataset %s: %v", m.ID, err)
+			continue
+		}
+		datasets++
+		sessions += n
+	}
+	return datasets, sessions, nil
+}
+
+// restoreDataset rebuilds one dataset (and all its sessions) from the
+// store, registering them under their persisted ids. Concurrent misses
+// on the same dataset serialize on restoreMu; losers find it live and
+// return early.
+func (s *Service) restoreDataset(id string) (*dataset, int, error) {
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	if d, ok := s.datasets.get(id); ok {
+		return d, 0, nil
+	}
+	if err := s.alive(); err != nil {
+		return nil, 0, err
+	}
+	meta, ds, err := s.store.LoadDataset(id)
+	if errors.Is(err, store.ErrNotExist) {
+		return nil, 0, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: loading dataset %s: %v", ErrStorage, id, err)
+	}
+	cons, err := goldrec.New(ds)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: dataset %s snapshot invalid: %v", ErrStorage, id, err)
+	}
+	d := &dataset{
+		id:      meta.ID,
+		created: meta.Created,
+		keyCol:  meta.KeyCol,
+		cons:    cons,
+		columns: make(map[int]string),
+	}
+	if !s.datasets.addWithID(meta.ID, d) {
+		// Unreachable under restoreMu; treat as already-live.
+		d, _ := s.datasets.get(meta.ID)
+		return d, 0, nil
+	}
+
+	sessionMetas, err := s.store.ListSessions(id)
+	if err != nil {
+		s.opts.Logf("dataset %s: listing sessions: %v", id, err)
+	}
+	restored := 0
+	for _, sm := range sessionMetas {
+		if err := s.restoreSession(d, sm); err != nil {
+			s.opts.Logf("session %s: restore failed: %v", sm.ID, err)
+			continue
+		}
+		restored++
+	}
+	s.opts.Logf("dataset %s: restored %q (%d clusters, %d records, %d session(s))",
+		id, ds.Name, len(ds.Clusters), ds.NumRecords(), restored)
+	return d, restored, nil
+}
+
+// restoreSession re-registers one persisted session. Compacted sessions
+// restore synchronously from their archived ReviewState; mid-review
+// sessions start a background generator that replays the WAL before
+// publishing the session (status "initializing" until then, exactly
+// like a freshly opened session).
+func (s *Service) restoreSession(d *dataset, sm store.SessionMeta) error {
+	col := d.cons.Dataset().ColumnIndex(sm.Column)
+	if col < 0 {
+		return fmt.Errorf("dataset %s has no column %q", d.id, sm.Column)
+	}
+	cs := &columnSession{
+		id:        sm.ID,
+		datasetID: d.id,
+		column:    sm.Column,
+		col:       col,
+		d:         d,
+	}
+	cs.cond = sync.NewCond(&cs.mu)
+	if sm.Compacted {
+		raw, err := s.store.LoadSessionState(d.id, sm.ID)
+		if err != nil {
+			return fmt.Errorf("loading archived state: %w", err)
+		}
+		st := &goldrec.ReviewState{}
+		if err := json.Unmarshal(raw, st); err != nil {
+			return fmt.Errorf("archived state corrupt: %w", err)
+		}
+		cs.archived = st
+		cs.compacted = true
+		cs.exhausted = true
+	} else {
+		cs.resume = true
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	// Restored sessions bypass MaxSessions: they were admitted once and
+	// refusing them now would turn a restart into data the reviewer can
+	// see but never touch.
+	if !s.sessions.addWithID(sm.ID, cs) {
+		s.mu.Unlock()
+		return fmt.Errorf("session id %s already live", sm.ID)
+	}
+	d.mu.Lock()
+	d.columns[col] = sm.ID
+	d.mu.Unlock()
+	s.mu.Unlock()
+
+	if cs.resume {
+		go cs.run(s)
+	}
+	return nil
+}

@@ -68,6 +68,21 @@ func (r *registry[V]) add(v V, assign func(id string)) string {
 	return id
 }
 
+// addWithID stores v under a caller-supplied id (recovery re-registers
+// restored entries with their persisted ids). It reports false when the
+// id is already live.
+func (r *registry[V]) addWithID(id string, v V) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.items[id]; taken {
+		return false
+	}
+	now := r.now()
+	r.seq++
+	r.items[id] = &regItem[V]{val: v, seq: r.seq, created: now, lastUsed: now}
+	return true
+}
+
 // get returns the value and refreshes its idle timer.
 func (r *registry[V]) get(id string) (V, bool) {
 	r.mu.Lock()

@@ -20,11 +20,24 @@
 // session serializes access to its goldrec.Session with its own mutex;
 // and a per-dataset RWMutex lets sessions on distinct columns apply
 // concurrently (read side) while golden-record export (write side)
-// sees a quiescent dataset. Idle datasets and sessions are evicted
-// after a TTL.
+// sees a quiescent dataset.
+//
+// Durability: every state transition is persisted through a store.Store
+// before it is acknowledged — uploads snapshot the dataset, session
+// opens record their meta, and each decision is appended to the
+// session's write-ahead log before the apply. With a persistent store,
+// TTL eviction is passivation: the in-memory state is dropped (it is
+// already durable) and transparently rebuilt from snapshot + WAL replay
+// on the next touch; restarts rebuild everything the same way
+// (Recover). With the default store.Null, eviction deletes, exactly as
+// before persistence existed. Datasets passivate as a unit — a session
+// is only ever evicted together with its dataset, because WAL replay
+// reconstructs a session by regenerating its groups against the
+// snapshot's column values.
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +46,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/table"
 )
 
@@ -48,6 +62,9 @@ var (
 	ErrLimit = errors.New("session limit reached")
 	// ErrClosed means the service is shutting down.
 	ErrClosed = errors.New("service closed")
+	// ErrStorage means the persistence backend failed; the request was
+	// not durably recorded and must be retried.
+	ErrStorage = errors.New("storage failure")
 )
 
 const (
@@ -71,6 +88,13 @@ type Options struct {
 	// JanitorInterval is how often the eviction janitor runs
 	// (0 = TTL/4, only meaningful with a positive TTL).
 	JanitorInterval time.Duration
+	// Store persists datasets and decision WALs (nil = store.Null:
+	// nothing persists and eviction deletes). The service does not
+	// close the store; its owner does, after Close.
+	Store store.Store
+	// MaxUploadBytes caps the request body of a dataset upload
+	// (0 = unlimited).
+	MaxUploadBytes int64
 
 	// now substitutes the clock in tests.
 	now func() time.Time
@@ -79,11 +103,16 @@ type Options struct {
 // Service owns the dataset and session registries.
 type Service struct {
 	opts     Options
+	store    store.Store
 	datasets *registry[*dataset]
 	sessions *registry[*columnSession]
 
 	mu     sync.Mutex // guards closed and the session-count check-and-add
 	closed bool
+
+	// restoreMu serializes passivation misses so one goroutine rebuilds
+	// a dataset while the others wait and then find it live.
+	restoreMu sync.Mutex
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -107,8 +136,12 @@ func New(opts Options) *Service {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.Store == nil {
+		opts.Store = store.Null{}
+	}
 	s := &Service{
 		opts:     opts,
+		store:    opts.Store,
 		datasets: newRegistry[*dataset]("ds", opts.TTL, opts.now),
 		sessions: newRegistry[*columnSession]("cs", opts.TTL, opts.now),
 	}
@@ -163,14 +196,30 @@ func (s *Service) janitor(interval time.Duration) {
 	}
 }
 
-// EvictExpired removes every dataset and session idle past the TTL and
-// reports how many of each went. The janitor calls it periodically;
-// tests call it directly with a fake clock.
+// EvictExpired removes idle state and reports how many datasets and
+// sessions went. The semantics depend on the store:
+//
+//   - Memory-only (store.Null): eviction is deletion, and idle sessions
+//     are evicted individually (an abandoned session must not pin its
+//     column and -max-sessions slot forever just because its dataset
+//     stays hot).
+//   - Persistent store: eviction is passivation — state stays on disk
+//     and the next touch restores it — and a dataset passivates as a
+//     unit with its sessions. Sessions are never passivated alone: WAL
+//     replay rebuilds a session against the snapshot's column values,
+//     which a still-live, already-mutated dataset does not have.
+//     (Session touches refresh the dataset, so an idle dataset implies
+//     idle sessions.)
+//
+// The janitor calls this periodically; tests call it directly with a
+// fake clock.
 func (s *Service) EvictExpired() (datasetsEvicted, sessionsEvicted int) {
-	for _, id := range s.sessions.expired() {
-		if cs, ok := s.sessions.get(id); ok {
-			s.closeSession(cs)
-			sessionsEvicted++
+	if !s.persistent() {
+		for _, id := range s.sessions.expired() {
+			if cs, ok := s.sessions.get(id); ok {
+				s.closeSession(cs)
+				sessionsEvicted++
+			}
 		}
 	}
 	for _, id := range s.datasets.expired() {
@@ -178,7 +227,9 @@ func (s *Service) EvictExpired() (datasetsEvicted, sessionsEvicted int) {
 			continue
 		}
 		datasetsEvicted++
-		// A dataset takes its sessions with it.
+		// A dataset takes its sessions with it. Their decision WALs are
+		// already durable (appends precede acknowledgements), so
+		// passivation writes nothing.
 		for _, cs := range s.sessions.list() {
 			if cs.datasetID == id {
 				s.closeSession(cs)
@@ -187,6 +238,13 @@ func (s *Service) EvictExpired() (datasetsEvicted, sessionsEvicted int) {
 		}
 	}
 	return datasetsEvicted, sessionsEvicted
+}
+
+// persistent reports whether evicted state is restorable from the
+// store.
+func (s *Service) persistent() bool {
+	_, null := s.store.(store.Null)
+	return !null
 }
 
 // dataset wraps one uploaded Consolidator.
@@ -208,14 +266,17 @@ type dataset struct {
 }
 
 // columnSession owns the review of one column. All fields below mu are
-// guarded by it; cond is signaled whenever pending, exhausted or closed
-// change.
+// guarded by it; cond is signaled whenever pending, exhausted, closed
+// or sess change.
 type columnSession struct {
 	id        string
 	datasetID string
 	column    string
 	col       int
 	d         *dataset
+	// resume makes the generator replay the session's WAL (restoring a
+	// passivated or pre-restart session) before producing new groups.
+	resume bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -223,6 +284,16 @@ type columnSession struct {
 	pending   []*goldrec.Group // issued, undecided, oldest first
 	exhausted bool
 	closed    bool
+	// stalled means the generator stopped because the store rejected an
+	// issue append; see StatusStalled.
+	stalled bool
+	// compacted means this session's decisions were folded into the
+	// dataset snapshot and its WAL deleted.
+	compacted bool
+	// archived replaces sess for a session restored after compaction:
+	// the final ReviewState is served from the archive and no further
+	// decisions are possible.
+	archived *goldrec.ReviewState
 }
 
 // CreateDataset ingests a clustered CSV (key column identifies
@@ -253,42 +324,106 @@ func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (Dat
 		columns: make(map[int]string),
 	}
 	s.datasets.add(d, func(id string) { d.id = id })
+	// Snapshot before acknowledging, and before any session can mutate
+	// the dataset: this version-1 snapshot is what every session WAL
+	// replays over.
+	meta := store.DatasetMeta{ID: d.id, Name: ds.Name, KeyCol: keyCol, Created: d.created}
+	if err := s.store.PutDataset(meta, ds); err != nil {
+		s.datasets.remove(d.id)
+		return DatasetInfo{}, fmt.Errorf("%w: snapshotting dataset: %v", ErrStorage, err)
+	}
 	s.opts.Logf("dataset %s: %q ingested (%d clusters, %d records)",
 		d.id, name, len(ds.Clusters), ds.NumRecords())
 	return s.datasetInfo(d), nil
 }
 
+// getDataset returns a live dataset, transparently reactivating a
+// passivated one from the store.
+func (s *Service) getDataset(id string) (*dataset, error) {
+	if d, ok := s.datasets.get(id); ok {
+		return d, nil
+	}
+	d, _, err := s.restoreDataset(id)
+	return d, err
+}
+
 // GetDataset returns a dataset's info and refreshes its idle timer.
 func (s *Service) GetDataset(id string) (DatasetInfo, error) {
-	d, ok := s.datasets.get(id)
-	if !ok {
-		return DatasetInfo{}, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	d, err := s.getDataset(id)
+	if err != nil {
+		return DatasetInfo{}, err
 	}
 	return s.datasetInfo(d), nil
 }
 
-// ListDatasets returns every live dataset in creation order.
+// ListDatasets returns every live dataset in creation order, followed
+// by any passivated datasets still restorable from the store (marked
+// Passive, with only their meta fields populated — restoring each just
+// to count its clusters would defeat passivation).
 func (s *Service) ListDatasets() []DatasetInfo {
 	ds := s.datasets.list()
 	out := make([]DatasetInfo, len(ds))
+	live := make(map[string]bool, len(ds))
 	for i, d := range ds {
 		out[i] = s.datasetInfo(d)
+		live[d.id] = true
+	}
+	metas, err := s.store.ListDatasets()
+	if err != nil {
+		s.opts.Logf("listing stored datasets: %v", err)
+		return out
+	}
+	for _, m := range metas {
+		if !live[m.ID] {
+			out = append(out, DatasetInfo{ID: m.ID, Name: m.Name, Created: m.Created, Passive: true})
+		}
 	}
 	return out
 }
 
-// DeleteDataset removes a dataset and closes its sessions.
+// DeleteDataset removes a dataset and closes its sessions. Unlike
+// eviction, deletion purges the durable state too: a deleted dataset is
+// gone for good. It holds restoreMu so a concurrent touch of one of the
+// dataset's ids cannot resurrect it from the store between the
+// in-memory remove and the durable purge.
 func (s *Service) DeleteDataset(id string) error {
-	if _, ok := s.datasets.remove(id); !ok {
-		return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	_, live := s.datasets.remove(id)
+	if !live {
+		// Not in memory — it may still be a passivated dataset in the
+		// store, which DELETE must also purge.
+		if !s.storedDatasetExists(id) {
+			return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+		}
 	}
 	for _, cs := range s.sessions.list() {
 		if cs.datasetID == id {
 			s.closeSession(cs)
 		}
 	}
+	if err := s.store.DeleteDataset(id); err != nil {
+		return fmt.Errorf("%w: deleting dataset %s: %v", ErrStorage, id, err)
+	}
 	s.opts.Logf("dataset %s: deleted", id)
 	return nil
+}
+
+// storedDatasetExists reports whether the store knows the dataset. It
+// scans the (small) meta listing; deletes are rare enough that a
+// dedicated point lookup has not been worth widening the Store
+// interface for.
+func (s *Service) storedDatasetExists(id string) bool {
+	metas, err := s.store.ListDatasets()
+	if err != nil {
+		return false
+	}
+	for _, m := range metas {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Service) datasetInfo(d *dataset) DatasetInfo {
@@ -318,9 +453,9 @@ func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
 	if err := s.alive(); err != nil {
 		return SessionInfo{}, err
 	}
-	d, ok := s.datasets.get(datasetID)
-	if !ok {
-		return SessionInfo{}, fmt.Errorf("dataset %s: %w", datasetID, ErrNotFound)
+	d, err := s.getDataset(datasetID)
+	if err != nil {
+		return SessionInfo{}, err
 	}
 	col := d.cons.Dataset().ColumnIndex(column)
 	if col < 0 {
@@ -352,33 +487,71 @@ func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
 	d.mu.Unlock()
 	s.mu.Unlock()
 
-	go cs.generate(s.opts.Prefetch, s.opts.Logf)
+	// Persist the session before its generator can append WAL records
+	// (the store needs the session registered to accept appends). A
+	// session that cannot be persisted must not run.
+	meta := store.SessionMeta{ID: cs.id, DatasetID: datasetID, Column: column, Created: s.opts.now()}
+	if err := s.store.PutSession(meta); err != nil {
+		s.closeSession(cs)
+		return SessionInfo{}, fmt.Errorf("%w: persisting session: %v", ErrStorage, err)
+	}
+
+	go cs.run(s)
 	s.opts.Logf("session %s: opened on dataset %s column %q", cs.id, datasetID, column)
 	return cs.info(), nil
 }
 
-// generate is the session's background producer: build the
-// goldrec.Session (candidate generation), then keep up to prefetch
-// undecided groups buffered ahead of the reviewer.
-func (cs *columnSession) generate(prefetch int, logf func(string, ...any)) {
+// run is the session's background producer: build the goldrec.Session
+// (candidate generation), replay the WAL when resuming, then keep up to
+// prefetch undecided groups buffered ahead of the reviewer. Every new
+// group is logged to the WAL before it becomes visible, so the durable
+// log always describes a prefix of the in-memory state.
+func (cs *columnSession) run(s *Service) {
+	logf := s.opts.Logf
 	sess, err := cs.d.cons.ColumnIndex(cs.col)
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	if err != nil {
 		// Unreachable in practice: the column index was validated at
 		// open time. Mark the stream done so waiters return.
+		cs.mu.Lock()
 		cs.exhausted = true
 		cs.cond.Broadcast()
+		cs.mu.Unlock()
 		return
 	}
+	var restored []*goldrec.Group
+	if cs.resume {
+		// Keep a pristine copy of the column: a failed replay must roll
+		// the live dataset back, or the half-replayed column would
+		// diverge from what the store will rebuild after a restart.
+		cs.d.applyMu.RLock()
+		pristine := columnValues(cs.d.cons.Dataset(), cs.col)
+		cs.d.applyMu.RUnlock()
+		restored, err = cs.replay(s, sess)
+		if err != nil {
+			logf("session %s: WAL replay failed, closing session: %v", cs.id, err)
+			cs.d.applyMu.Lock()
+			setColumnValues(cs.d.cons.Dataset(), cs.col, pristine)
+			cs.d.applyMu.Unlock()
+			s.closeSession(cs)
+			return
+		}
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if cs.closed {
 		return
 	}
 	cs.sess = sess
+	cs.pending = restored
 	cs.cond.Broadcast()
-	logf("session %s: %d candidate replacements", cs.id, sess.Stats().Candidates)
+	if cs.resume {
+		logf("session %s: restored (%d group(s) issued, %d pending)",
+			cs.id, sess.Stats().GroupsSeen, len(restored))
+	} else {
+		logf("session %s: %d candidate replacements", cs.id, sess.Stats().Candidates)
+	}
 	for {
-		for len(cs.pending) >= prefetch && !cs.closed {
+		for len(cs.pending) >= s.opts.Prefetch && !cs.closed {
 			cs.cond.Wait()
 		}
 		if cs.closed {
@@ -392,10 +565,99 @@ func (cs *columnSession) generate(prefetch int, logf func(string, ...any)) {
 			cs.exhausted = true
 			cs.cond.Broadcast()
 			logf("session %s: group stream exhausted after %d group(s)", cs.id, sess.Stats().GroupsSeen)
+			s.maybeCompactLocked(cs)
+			return
+		}
+		// Log the issue before exposing the group. A crash in between
+		// re-derives the same group on replay (generation is
+		// deterministic); an unlogged group must never be decided, or
+		// the WAL could not replay the decision.
+		if err := s.store.AppendWAL(cs.datasetID, cs.id, store.WALRecord{Op: store.OpIssue, GroupID: g.ID}); err != nil {
+			// Stop producing but stay registered and decidable: issued
+			// groups are still reviewable, the column slot stays owned
+			// (a replacement session would corrupt the durable log's
+			// replay base), and a restart resumes from the WAL. The
+			// stalled flag unblocks long-polling group fetches.
+			cs.stalled = true
+			cs.cond.Broadcast()
+			logf("session %s: WAL append failed, group generation stalled: %v", cs.id, err)
 			return
 		}
 		cs.pending = append(cs.pending, g)
 		cs.cond.Broadcast()
+	}
+}
+
+// replay rebuilds the session's state by re-executing its WAL: issue
+// records re-derive groups through NextGroup (deterministic), decide
+// records re-apply the recorded verdicts. It returns the groups that
+// were issued but undecided at the time of passivation — the restored
+// pending buffer. The session is not yet published, so no lock is held;
+// applyMu still orders the replayed applies against exports.
+func (cs *columnSession) replay(s *Service, sess *goldrec.Session) ([]*goldrec.Group, error) {
+	var pending []*goldrec.Group
+	err := s.store.ReplayWAL(cs.datasetID, cs.id, func(rec store.WALRecord) error {
+		switch rec.Op {
+		case store.OpIssue:
+			g, ok := sess.NextGroup()
+			if !ok {
+				return fmt.Errorf("issue record %d: group stream exhausted early", rec.GroupID)
+			}
+			if g.ID != rec.GroupID {
+				return fmt.Errorf("issue record mismatch: regenerated group %d, log says %d", g.ID, rec.GroupID)
+			}
+			pending = append(pending, g)
+			return nil
+		case store.OpDecide:
+			d, err := goldrec.ParseDecision(rec.Decision)
+			if err != nil {
+				return err
+			}
+			cs.d.applyMu.RLock()
+			_, err = sess.Decide(rec.GroupID, d)
+			cs.d.applyMu.RUnlock()
+			if err != nil {
+				return fmt.Errorf("decide record: %w", err)
+			}
+			for i, g := range pending {
+				if g.ID == rec.GroupID {
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown WAL op %q", rec.Op)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+// columnValues copies one column's cell values, indexed [cluster][row].
+func columnValues(ds *table.Dataset, col int) [][]string {
+	out := make([][]string, len(ds.Clusters))
+	for ci := range ds.Clusters {
+		recs := ds.Clusters[ci].Records
+		vals := make([]string, len(recs))
+		for ri := range recs {
+			vals[ri] = recs[ri].Values[col]
+		}
+		out[ci] = vals
+	}
+	return out
+}
+
+// setColumnValues restores one column's cell values from a
+// columnValues copy.
+func setColumnValues(ds *table.Dataset, col int, values [][]string) {
+	for ci := range ds.Clusters {
+		recs := ds.Clusters[ci].Records
+		for ri := range recs {
+			recs[ri].Values[col] = values[ci][ri]
+		}
 	}
 }
 
@@ -420,18 +682,69 @@ func (s *Service) ListSessions() []SessionInfo {
 }
 
 // DeleteSession closes a session and frees its column for a new one.
+// Deletion is permanent: the session's WAL and archive are purged —
+// but not before its applied decisions are folded into the dataset
+// snapshot, so standardization work done through a deleted session
+// still survives a restart.
 func (s *Service) DeleteSession(id string) error {
-	cs, ok := s.sessions.get(id)
-	if !ok {
+	cs, err := s.session(id)
+	if errors.Is(err, ErrNotFound) {
+		// Not live and not restorable (the dataset is live but this
+		// session is not — e.g. a prior delete purged the memory side
+		// and then failed the durable purge). Purge any leftover store
+		// state directly so retries converge instead of 404ing forever.
+		sm, ferr := s.store.FindSession(id)
+		if errors.Is(ferr, store.ErrNotExist) {
+			return err
+		}
+		if ferr != nil {
+			return fmt.Errorf("%w: looking up session %s: %v", ErrStorage, id, ferr)
+		}
+		if derr := s.store.DeleteSession(sm.DatasetID, id); derr != nil {
+			return fmt.Errorf("%w: deleting session %s: %v", ErrStorage, id, derr)
+		}
+		s.opts.Logf("session %s: deleted (durable state only)", id)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	// A resuming session must finish its replay first: deleting the WAL
+	// mid-replay would strand applied changes that were never folded.
+	for cs.resume && cs.sess == nil && !cs.closed && cs.archived == nil {
+		cs.cond.Wait()
+	}
+	if cs.closed {
+		cs.mu.Unlock()
 		return fmt.Errorf("session %s: %w", id, ErrNotFound)
 	}
+	// Close first (under mu) so no decision can slip in after the fold
+	// below and be lost when the WAL is deleted.
+	cs.closed = true
+	cs.cond.Broadcast()
+	if cs.sess != nil && !cs.compacted && cs.sess.Stats().GroupsApplied > 0 {
+		if err := s.compactLocked(cs); err != nil {
+			// Without the fold, deleting the WAL would discard applied
+			// work. Abort the delete; the session stays usable.
+			cs.closed = false
+			cs.cond.Broadcast()
+			cs.mu.Unlock()
+			return fmt.Errorf("%w: folding session %s before delete: %v", ErrStorage, id, err)
+		}
+	}
+	cs.mu.Unlock()
 	s.closeSession(cs)
+	if err := s.store.DeleteSession(cs.datasetID, cs.id); err != nil {
+		return fmt.Errorf("%w: deleting session %s: %v", ErrStorage, id, err)
+	}
 	s.opts.Logf("session %s: deleted", id)
 	return nil
 }
 
 // closeSession unregisters the session, stops its generator and frees
-// its column slot. Idempotent.
+// its column slot. Idempotent. Durable state is untouched — callers
+// that mean "delete" purge the store themselves.
 func (s *Service) closeSession(cs *columnSession) {
 	s.sessions.remove(cs.id)
 	cs.d.mu.Lock()
@@ -443,14 +756,30 @@ func (s *Service) closeSession(cs *columnSession) {
 	cs.closed = true
 	cs.cond.Broadcast()
 	cs.mu.Unlock()
+	s.store.CloseWAL(cs.datasetID, cs.id)
 }
 
 // session fetches a live session and touches its dataset so a dataset
-// never expires under an active reviewer.
+// never expires under an active reviewer. A passivated session is
+// transparently restored (with its whole dataset) from the store.
 func (s *Service) session(id string) (*columnSession, error) {
 	cs, ok := s.sessions.get(id)
 	if !ok {
-		return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+		sm, err := s.store.FindSession(id)
+		if errors.Is(err, store.ErrNotExist) {
+			return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: looking up session %s: %v", ErrStorage, id, err)
+		}
+		if _, _, err := s.restoreDataset(sm.DatasetID); err != nil {
+			return nil, err
+		}
+		if cs, ok = s.sessions.get(id); !ok {
+			// The dataset is live but this session did not restore
+			// (e.g. its replay failed and closed it).
+			return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+		}
 	}
 	s.datasets.touch(cs.datasetID)
 	return cs, nil
@@ -466,8 +795,11 @@ func (cs *columnSession) info() SessionInfo {
 		Status:    cs.statusLocked(),
 		Pending:   len(cs.pending),
 	}
-	if cs.sess != nil {
+	switch {
+	case cs.sess != nil:
 		info.Stats = cs.sess.Stats()
+	case cs.archived != nil:
+		info.Stats = cs.archived.Stats
 	}
 	return info
 }
@@ -476,10 +808,14 @@ func (cs *columnSession) statusLocked() string {
 	switch {
 	case cs.closed:
 		return StatusClosed
+	case cs.archived != nil:
+		return StatusExhausted
 	case cs.sess == nil:
 		return StatusInitializing
 	case cs.exhausted && len(cs.pending) == 0:
 		return StatusExhausted
+	case cs.stalled:
+		return StatusStalled
 	default:
 		return StatusReviewing
 	}
@@ -497,7 +833,7 @@ func (s *Service) PendingGroups(id string, limit int, wait <-chan struct{}) (Gro
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if wait != nil {
-		for len(cs.pending) == 0 && !cs.exhausted && !cs.closed && !chanClosed(wait) {
+		for len(cs.pending) == 0 && !cs.exhausted && !cs.stalled && !cs.closed && !chanClosed(wait) {
 			cs.waitOrCancel(wait)
 		}
 	}
@@ -552,7 +888,17 @@ func chanClosed(c <-chan struct{}) bool {
 // Decide records the reviewer's verdict for one issued group and, for
 // approvals, applies the replacements. Distinct-column sessions of the
 // same dataset can apply concurrently; exports serialize against them.
+//
+// The decision is appended to the session's WAL after validation but
+// before it is applied or acknowledged: once the reviewer sees success,
+// the verdict survives any crash. A storage failure rejects the request
+// with nothing recorded and nothing applied.
 func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
+	switch decision {
+	case goldrec.Approved, goldrec.ApprovedBackward, goldrec.Rejected:
+	default:
+		return DecisionResult{}, fmt.Errorf("invalid decision %d", int(decision))
+	}
 	cs, err := s.session(id)
 	if err != nil {
 		return DecisionResult{}, err
@@ -562,14 +908,48 @@ func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (Dec
 	if cs.closed {
 		return DecisionResult{}, fmt.Errorf("session %s: %w", id, ErrNotFound)
 	}
+	if cs.archived != nil {
+		return DecisionResult{}, fmt.Errorf("session %s is finished and compacted: %w", id, ErrConflict)
+	}
 	if cs.sess == nil {
 		return DecisionResult{}, fmt.Errorf("session %s is still initializing: %w", id, ErrConflict)
+	}
+	// Validate here (rather than letting sess.Decide fail) so only
+	// decisions that will succeed reach the WAL — replay must never hit
+	// a failing record.
+	g, ok := cs.sess.Group(groupID)
+	if !ok {
+		return DecisionResult{}, fmt.Errorf("%w: no issued group %d", ErrConflict, groupID)
+	}
+	if g.Decision() != goldrec.Pending {
+		return DecisionResult{}, fmt.Errorf("%w: group %d already decided (%s)", ErrConflict, groupID, g.Decision())
+	}
+	// Undecided groups must also be in the pending buffer: a group
+	// enters it exactly when its issue record lands in the WAL. A group
+	// the generator pulled but failed to log (stall window) is issued in
+	// the engine yet absent here — deciding it would write a decide
+	// record replay can never satisfy.
+	inPending := false
+	for _, p := range cs.pending {
+		if p.ID == groupID {
+			inPending = true
+			break
+		}
+	}
+	if !inPending {
+		return DecisionResult{}, fmt.Errorf("%w: group %d is not awaiting a decision", ErrConflict, groupID)
+	}
+	rec := store.WALRecord{Op: store.OpDecide, GroupID: groupID, Decision: decision.String()}
+	if err := s.store.AppendWAL(cs.datasetID, cs.id, rec); err != nil {
+		return DecisionResult{}, fmt.Errorf("%w: logging decision: %v", ErrStorage, err)
 	}
 	cs.d.applyMu.RLock()
 	stats, err := cs.sess.Decide(groupID, decision)
 	cs.d.applyMu.RUnlock()
 	if err != nil {
-		return DecisionResult{}, fmt.Errorf("%w: %w", ErrConflict, err)
+		// Unreachable given the validation above; the WAL now holds a
+		// record the session does not. Surface loudly.
+		return DecisionResult{}, fmt.Errorf("%w: decision logged but not applied: %v", ErrStorage, err)
 	}
 	for i, g := range cs.pending {
 		if g.ID == groupID {
@@ -580,15 +960,52 @@ func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (Dec
 	// A freed buffer slot lets the generator pull the next group while
 	// the reviewer reads the response.
 	cs.cond.Broadcast()
-	return DecisionResult{
+	res := DecisionResult{
 		GroupID:  groupID,
 		Decision: decision,
 		Applied:  stats,
 		Stats:    cs.sess.Stats(),
-	}, nil
+	}
+	s.maybeCompactLocked(cs)
+	return res, nil
 }
 
-// ReviewState snapshots a session's full review progress.
+// maybeCompactLocked folds a finished session (stream exhausted, every
+// issued group decided) into the dataset snapshot. Compaction failure
+// only costs disk space: the WAL stays and recovery replays it. Caller
+// holds cs.mu.
+func (s *Service) maybeCompactLocked(cs *columnSession) {
+	if cs.compacted || cs.archived != nil || cs.sess == nil ||
+		!cs.exhausted || len(cs.pending) != 0 || cs.sess.Stats().GroupsSeen == 0 {
+		return
+	}
+	if err := s.compactLocked(cs); err != nil {
+		s.opts.Logf("session %s: compaction failed (WAL retained): %v", cs.id, err)
+	}
+}
+
+// compactLocked archives the session's ReviewState and folds its
+// column into a new snapshot version. Caller holds cs.mu.
+func (s *Service) compactLocked(cs *columnSession) error {
+	state, err := json.Marshal(cs.sess.ReviewState())
+	if err != nil {
+		return err
+	}
+	cs.d.applyMu.RLock()
+	values := columnValues(cs.d.cons.Dataset(), cs.col)
+	cs.d.applyMu.RUnlock()
+	if err := s.store.CompactSession(cs.datasetID, cs.id, cs.col, values, state); err != nil {
+		return err
+	}
+	cs.compacted = true
+	s.opts.Logf("session %s: compacted (%d decision(s) folded into dataset %s snapshot)",
+		cs.id, cs.sess.Stats().GroupsSeen, cs.datasetID)
+	return nil
+}
+
+// ReviewState snapshots a session's full review progress. For a
+// compacted session restored from the store, the archived final state
+// is served instead.
 func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
 	cs, err := s.session(id)
 	if err != nil {
@@ -596,6 +1013,9 @@ func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	if cs.archived != nil {
+		return *cs.archived, nil
+	}
 	if cs.sess == nil {
 		ds := cs.d.cons.Dataset()
 		return goldrec.ReviewState{Dataset: ds.Name, Column: cs.column}, nil
@@ -608,9 +1028,9 @@ func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
 // standardized exports dump the current cell values. Both hold the
 // dataset's write lock so no session applies mid-read.
 func (s *Service) Export(datasetID string, golden bool) (ExportData, error) {
-	d, ok := s.datasets.get(datasetID)
-	if !ok {
-		return ExportData{}, fmt.Errorf("dataset %s: %w", datasetID, ErrNotFound)
+	d, err := s.getDataset(datasetID)
+	if err != nil {
+		return ExportData{}, err
 	}
 	d.applyMu.Lock()
 	defer d.applyMu.Unlock()

@@ -14,6 +14,11 @@ const (
 	StatusReviewing = "reviewing"
 	// StatusExhausted: the stream ended and no undecided groups remain.
 	StatusExhausted = "exhausted"
+	// StatusStalled: the persistence backend rejected a write, so group
+	// generation is paused. Already-issued groups can still be decided
+	// (each decision retries the backend); a restart resumes generation
+	// from the durable log.
+	StatusStalled = "stalled"
 	// StatusClosed: the session was deleted or evicted.
 	StatusClosed = "closed"
 )
@@ -29,6 +34,10 @@ type DatasetInfo struct {
 	// Sessions lists the ids of the column sessions currently open on
 	// this dataset.
 	Sessions []string `json:"sessions"`
+	// Passive marks a TTL-evicted dataset known only to the store; its
+	// counts and sessions are omitted. Touching the dataset (or one of
+	// its sessions) by id reactivates it.
+	Passive bool `json:"passive,omitempty"`
 }
 
 // SessionInfo describes one column session.

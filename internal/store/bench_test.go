@@ -1,0 +1,166 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+// benchDataset builds a synthetic clustered dataset of the given size,
+// shaped like the paper's address data (short string cells).
+func benchDataset(clusters, recordsPer int) *table.Dataset {
+	ds := &table.Dataset{
+		Name:     "bench",
+		Attrs:    []string{"Name", "Address"},
+		Clusters: make([]table.Cluster, clusters),
+	}
+	for ci := 0; ci < clusters; ci++ {
+		cl := table.Cluster{Key: fmt.Sprintf("C%06d", ci)}
+		for ri := 0; ri < recordsPer; ri++ {
+			cl.Records = append(cl.Records, table.Record{
+				Source: fmt.Sprintf("src%d", ri%3),
+				Values: []string{
+					fmt.Sprintf("Person %d-%d", ci, ri),
+					fmt.Sprintf("%d Main St, 021%02d MA", ci, ri),
+				},
+			})
+		}
+		ds.Clusters[ci] = cl
+	}
+	return ds
+}
+
+// BenchmarkWALAppend measures the latency of one durable decision
+// append — the cost every Decide pays before acknowledging.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts FSOptions
+	}{
+		{"sync", FSOptions{}},
+		{"nosync", FSOptions{NoSync: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, err := OpenFS(filepath.Join(b.TempDir(), "store"), bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
+				b.Fatal(err)
+			}
+			rec := WALRecord{Op: OpDecide, GroupID: 1, Decision: "approve"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.AppendWAL("ds_0a", "cs_01", rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotEncode measures PutDataset throughput (bytes of
+// snapshot JSON per second) for growing dataset sizes — the cost of one
+// upload or one compaction rewrite.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, clusters := range []int{100, 1000, 10000} {
+		ds := benchDataset(clusters, 4)
+		raw, err := json.Marshal(snapshot{Version: 1, Dataset: ds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			s, err := OpenFS(filepath.Join(b.TempDir(), "store"), FSOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			meta := DatasetMeta{ID: "ds_0a", KeyCol: "k"}
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.PutDataset(meta, ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotDecode measures LoadDataset throughput — the cost of
+// restoring one dataset at boot or on a passivation miss.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	for _, clusters := range []int{100, 1000, 10000} {
+		ds := benchDataset(clusters, 4)
+		raw, err := json.Marshal(snapshot{Version: 1, Dataset: ds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			s, err := OpenFS(filepath.Join(b.TempDir(), "store"), FSOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, ds); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.LoadDataset("ds_0a"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALReplay measures end-to-end replay of an n-record log —
+// the per-session recovery cost excluding group regeneration.
+func BenchmarkWALReplay(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			s, err := OpenFS(filepath.Join(b.TempDir(), "store"), FSOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				rec := WALRecord{Op: OpIssue, GroupID: i}
+				if i%2 == 1 {
+					rec = WALRecord{Op: OpDecide, GroupID: i / 2, Decision: "approve"}
+				}
+				if err := s.AppendWAL("ds_0a", "cs_01", rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				if err := s.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error {
+					count++
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if count != n {
+					b.Fatalf("replayed %d, want %d", count, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,718 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+// FSOptions configure the filesystem backend.
+type FSOptions struct {
+	// NoSync skips the fsync after every WAL append. Appends become
+	// OS-buffered: much faster, but a host crash (not just a process
+	// crash) can lose the tail of the log. Process crashes lose nothing
+	// either way. Snapshots and metas are always fsynced — they are
+	// rare, whole-file writes whose loss would cost far more than one
+	// log record.
+	NoSync bool
+}
+
+// FS is the filesystem backend. The layout under the root is one
+// directory per dataset holding its meta, versioned snapshots, and one
+// directory per session:
+//
+//	<root>/datasets/<ds_id>/
+//	    meta.json                 dataset meta (atomic rename)
+//	    snapshot-000001.json      versioned snapshots; highest wins,
+//	                              older versions are pruned
+//	    sessions/<cs_id>/
+//	        meta.json             session meta (atomic rename)
+//	        wal.jsonl             append-only decision log, one JSON
+//	                              record per line
+//	        state.json            archived ReviewState (after compaction)
+//
+// Every non-append write lands in a temp file first and is renamed into
+// place, so readers never observe a partial meta or snapshot. WAL
+// appends are O_APPEND single writes followed by fsync (unless NoSync);
+// a crash mid-append leaves at most one torn final line, which replay
+// drops.
+type FS struct {
+	root string
+	opts FSOptions
+
+	mu   sync.Mutex
+	wals map[string]*os.File // open WAL handles, keyed dsID+"/"+csID
+	// dsMu serializes snapshot read-modify-write cycles per dataset:
+	// without it, two sessions compacting concurrently would both write
+	// the same next snapshot version and one session's fold would be
+	// silently overwritten.
+	dsMu map[string]*sync.Mutex
+}
+
+// datasetLock returns the dataset's snapshot-writer mutex.
+func (s *FS) datasetLock(dsID string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dsMu == nil {
+		s.dsMu = make(map[string]*sync.Mutex)
+	}
+	if m, ok := s.dsMu[dsID]; ok {
+		return m
+	}
+	m := &sync.Mutex{}
+	s.dsMu[dsID] = m
+	return m
+}
+
+var _ Store = (*FS)(nil)
+
+// OpenFS opens (creating if needed) a filesystem store rooted at dir.
+func OpenFS(dir string, opts FSOptions) (*FS, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty root directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "datasets"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	return &FS{root: dir, opts: opts, wals: make(map[string]*os.File)}, nil
+}
+
+// Root returns the store's root directory.
+func (s *FS) Root() string { return s.root }
+
+// idPattern matches the registry's opaque ids ("ds_9f86d081884c7d65").
+// Ids become path components, so anything else is rejected outright.
+var idPattern = regexp.MustCompile(`^[a-z]+_[0-9a-f]+$`)
+
+func checkID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("store: invalid id %q", id)
+	}
+	return nil
+}
+
+func (s *FS) datasetDir(dsID string) string {
+	return filepath.Join(s.root, "datasets", dsID)
+}
+
+func (s *FS) sessionDir(dsID, csID string) string {
+	return filepath.Join(s.datasetDir(dsID), "sessions", csID)
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, always
+// fsyncing the file and its directory (NoSync covers WAL appends only).
+func (s *FS) writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives a host crash. Errors
+// are ignored: some filesystems refuse directory fsync and the rename
+// itself already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// snapshot is the on-disk snapshot document. Folded is the commit
+// record for compaction: a session listed there had its decisions
+// folded into this version's cell values, so recovery must never replay
+// its WAL (a leftover wal.jsonl from a crash mid-compaction is dormant
+// garbage, not state).
+type snapshot struct {
+	Version int            `json:"version"`
+	Folded  []string       `json:"folded,omitempty"`
+	Dataset *table.Dataset `json:"dataset"`
+}
+
+// snapshotHeader decodes a snapshot's bookkeeping without building the
+// dataset.
+type snapshotHeader struct {
+	Version int      `json:"version"`
+	Folded  []string `json:"folded"`
+}
+
+// readFolded returns the folded-session set of the dataset's latest
+// snapshot (empty when there is none).
+func readFolded(dsDir string) (map[string]bool, error) {
+	_, path, err := latestSnapshot(dsDir)
+	if err != nil || path == "" {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h snapshotHeader
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot %s: %w", filepath.Base(path), err)
+	}
+	out := make(map[string]bool, len(h.Folded))
+	for _, id := range h.Folded {
+		out[id] = true
+	}
+	return out, nil
+}
+
+var snapshotPattern = regexp.MustCompile(`^snapshot-(\d{6})\.json$`)
+
+// latestSnapshot returns the highest snapshot version present in dir
+// (0 when none).
+func latestSnapshot(dir string) (version int, path string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	for _, e := range entries {
+		m := snapshotPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		v, _ := strconv.Atoi(m[1])
+		if v > version {
+			version, path = v, filepath.Join(dir, e.Name())
+		}
+	}
+	return version, path, nil
+}
+
+func snapshotPath(dir string, version int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%06d.json", version))
+}
+
+// pruneSnapshots removes every snapshot version below keep.
+func pruneSnapshots(dir string, keep int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		m := snapshotPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if v, _ := strconv.Atoi(m[1]); v < keep {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// PutDataset writes the dataset meta and its version-1 snapshot.
+func (s *FS) PutDataset(meta DatasetMeta, ds *table.Dataset) error {
+	if err := checkID(meta.ID); err != nil {
+		return err
+	}
+	dir := s.datasetDir(meta.ID)
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return fmt.Errorf("store: dataset %s: %w", meta.ID, err)
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	snapJSON, err := json.Marshal(snapshot{Version: 1, Dataset: ds})
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(snapshotPath(dir, 1), snapJSON); err != nil {
+		return fmt.Errorf("store: dataset %s snapshot: %w", meta.ID, err)
+	}
+	if err := s.writeFileAtomic(filepath.Join(dir, "meta.json"), metaJSON); err != nil {
+		return fmt.Errorf("store: dataset %s meta: %w", meta.ID, err)
+	}
+	return nil
+}
+
+// LoadDataset returns the meta and the latest snapshot.
+func (s *FS) LoadDataset(id string) (DatasetMeta, *table.Dataset, error) {
+	if err := checkID(id); err != nil {
+		return DatasetMeta{}, nil, err
+	}
+	dir := s.datasetDir(id)
+	meta, err := readMeta[DatasetMeta](filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return DatasetMeta{}, nil, err
+	}
+	_, path, err := latestSnapshot(dir)
+	if err != nil {
+		return DatasetMeta{}, nil, fmt.Errorf("store: dataset %s: %w", id, err)
+	}
+	if path == "" {
+		return DatasetMeta{}, nil, fmt.Errorf("store: dataset %s has no snapshot: %w", id, ErrNotExist)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return DatasetMeta{}, nil, fmt.Errorf("store: dataset %s: %w", id, err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return DatasetMeta{}, nil, fmt.Errorf("store: dataset %s: corrupt snapshot %s: %w", id, filepath.Base(path), err)
+	}
+	if snap.Dataset == nil {
+		return DatasetMeta{}, nil, fmt.Errorf("store: dataset %s: snapshot %s has no dataset", id, filepath.Base(path))
+	}
+	return meta, snap.Dataset, nil
+}
+
+// readMeta loads a meta.json, mapping a missing file to ErrNotExist.
+func readMeta[M any](path string) (M, error) {
+	var meta M
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return meta, fmt.Errorf("%s: %w", path, ErrNotExist)
+	}
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return meta, fmt.Errorf("store: corrupt meta %s: %w", path, err)
+	}
+	return meta, nil
+}
+
+// ListDatasets returns every persisted dataset's meta, oldest first.
+func (s *FS) ListDatasets() ([]DatasetMeta, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "datasets"))
+	if err != nil {
+		return nil, err
+	}
+	var out []DatasetMeta
+	for _, e := range entries {
+		if !e.IsDir() || checkID(e.Name()) != nil {
+			continue
+		}
+		meta, err := readMeta[DatasetMeta](filepath.Join(s.datasetDir(e.Name()), "meta.json"))
+		if err != nil {
+			// Missing (crash mid-Put) or corrupt: skip rather than fail
+			// the listing — one bad entry must not make every healthy
+			// dataset unlistable (and unrecoverable at boot).
+			continue
+		}
+		out = append(out, meta)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// DeleteDataset removes the dataset, its snapshots and all its sessions.
+func (s *FS) DeleteDataset(id string) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	lock := s.datasetLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	s.mu.Lock()
+	prefix := id + "/"
+	for key, f := range s.wals {
+		if strings.HasPrefix(key, prefix) {
+			f.Close()
+			delete(s.wals, key)
+		}
+	}
+	delete(s.dsMu, id)
+	s.mu.Unlock()
+	return os.RemoveAll(s.datasetDir(id))
+}
+
+// PutSession writes (or overwrites) a session's meta.
+func (s *FS) PutSession(meta SessionMeta) error {
+	if err := checkID(meta.DatasetID); err != nil {
+		return err
+	}
+	if err := checkID(meta.ID); err != nil {
+		return err
+	}
+	dir := s.sessionDir(meta.DatasetID, meta.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: session %s: %w", meta.ID, err)
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return s.writeFileAtomic(filepath.Join(dir, "meta.json"), raw)
+}
+
+// ListSessions returns the dataset's persisted sessions, oldest first.
+func (s *FS) ListSessions(datasetID string) ([]SessionMeta, error) {
+	if err := checkID(datasetID); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(s.datasetDir(datasetID), "sessions"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	folded, err := readFolded(s.datasetDir(datasetID))
+	if err != nil {
+		return nil, err
+	}
+	var out []SessionMeta
+	for _, e := range entries {
+		if !e.IsDir() || checkID(e.Name()) != nil {
+			continue
+		}
+		meta, err := readMeta[SessionMeta](filepath.Join(s.sessionDir(datasetID, e.Name()), "meta.json"))
+		if err != nil {
+			// Missing or corrupt: skip, as in ListDatasets.
+			continue
+		}
+		// The snapshot's folded set, not the meta flag, is compaction's
+		// commit record; overlay it so a crash between the snapshot
+		// write and the meta flip still reads as compacted.
+		if folded[meta.ID] {
+			meta.Compacted = true
+		}
+		out = append(out, meta)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// FindSession scans the datasets for a session id. The scan is linear in
+// the number of persisted datasets; goldrecd only calls it on a registry
+// miss (a passivated session's first touch).
+func (s *FS) FindSession(sessionID string) (SessionMeta, error) {
+	if err := checkID(sessionID); err != nil {
+		return SessionMeta{}, err
+	}
+	datasets, err := s.ListDatasets()
+	if err != nil {
+		return SessionMeta{}, err
+	}
+	for _, d := range datasets {
+		meta, err := readMeta[SessionMeta](filepath.Join(s.sessionDir(d.ID, sessionID), "meta.json"))
+		if err != nil {
+			continue // missing here, or corrupt: keep scanning
+		}
+		if !meta.Compacted {
+			folded, err := readFolded(s.datasetDir(d.ID))
+			if err != nil {
+				return SessionMeta{}, err
+			}
+			if folded[meta.ID] {
+				meta.Compacted = true
+			}
+		}
+		return meta, nil
+	}
+	return SessionMeta{}, fmt.Errorf("store: session %s: %w", sessionID, ErrNotExist)
+}
+
+// DeleteSession removes one session's meta, WAL and archived state.
+func (s *FS) DeleteSession(datasetID, sessionID string) error {
+	if err := checkID(datasetID); err != nil {
+		return err
+	}
+	if err := checkID(sessionID); err != nil {
+		return err
+	}
+	s.closeWAL(datasetID, sessionID)
+	return os.RemoveAll(s.sessionDir(datasetID, sessionID))
+}
+
+// walFile returns the cached open handle for a session's WAL, opening it
+// append-only on first use. A torn final record left by a crash
+// mid-append is truncated away first — otherwise the next append would
+// merge with the torn bytes into one corrupt line and take an
+// acknowledged decision down with it.
+func (s *FS) walFile(datasetID, sessionID string) (*os.File, error) {
+	key := datasetID + "/" + sessionID
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wals == nil {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if f, ok := s.wals[key]; ok {
+		return f, nil
+	}
+	path := filepath.Join(s.sessionDir(datasetID, sessionID), "wal.jsonl")
+	if err := repairWALTail(path); err != nil {
+		return nil, fmt.Errorf("store: session %s wal: %w", sessionID, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: session %s wal: %w", sessionID, err)
+	}
+	s.wals[key] = f
+	return f, nil
+}
+
+// repairWALTail truncates a WAL that does not end in a newline back to
+// its last complete record. Missing files are fine.
+func repairWALTail(path string) error {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) || len(raw) == 0 {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if raw[len(raw)-1] == '\n' {
+		return nil
+	}
+	keep := bytes.LastIndexByte(raw, '\n') + 1 // 0 when no newline at all
+	return os.Truncate(path, int64(keep))
+}
+
+// AppendWAL durably appends one record to the session's log.
+func (s *FS) AppendWAL(datasetID, sessionID string, rec WALRecord) error {
+	if err := checkID(datasetID); err != nil {
+		return err
+	}
+	if err := checkID(sessionID); err != nil {
+		return err
+	}
+	f, err := s.walFile(datasetID, sessionID)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	// A single short write keeps the torn-tail window to one record;
+	// O_APPEND makes concurrent appends to *different* sessions safe and
+	// the per-session caller already serializes same-session appends.
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("store: session %s wal append: %w", sessionID, err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: session %s wal sync: %w", sessionID, err)
+		}
+	}
+	return nil
+}
+
+// ReplayWAL streams the session's log in append order.
+func (s *FS) ReplayWAL(datasetID, sessionID string, fn func(WALRecord) error) error {
+	if err := checkID(datasetID); err != nil {
+		return err
+	}
+	if err := checkID(sessionID); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(filepath.Join(s.sessionDir(datasetID, sessionID), "wal.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: session %s wal: %w", sessionID, err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				// Torn final record from a crash mid-append: the decision
+				// it held was never acknowledged, so dropping it is safe.
+				return nil
+			}
+			return fmt.Errorf("store: session %s wal record %d: corrupt: %w", sessionID, i+1, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseWAL releases the cached handle for the session's log.
+func (s *FS) CloseWAL(datasetID, sessionID string) error {
+	if err := checkID(datasetID); err != nil {
+		return err
+	}
+	if err := checkID(sessionID); err != nil {
+		return err
+	}
+	s.closeWAL(datasetID, sessionID)
+	return nil
+}
+
+func (s *FS) closeWAL(datasetID, sessionID string) {
+	key := datasetID + "/" + sessionID
+	s.mu.Lock()
+	if f, ok := s.wals[key]; ok {
+		f.Close()
+		delete(s.wals, key)
+	}
+	s.mu.Unlock()
+}
+
+// CompactSession folds a finished session into the dataset snapshot.
+func (s *FS) CompactSession(datasetID, sessionID string, col int, values [][]string, state []byte) error {
+	if err := checkID(datasetID); err != nil {
+		return err
+	}
+	if err := checkID(sessionID); err != nil {
+		return err
+	}
+	lock := s.datasetLock(datasetID)
+	lock.Lock()
+	defer lock.Unlock()
+	dsDir := s.datasetDir(datasetID)
+	version, path, err := latestSnapshot(dsDir)
+	if err != nil || path == "" {
+		return fmt.Errorf("store: dataset %s: no snapshot to compact into: %w", datasetID, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil || snap.Dataset == nil {
+		return fmt.Errorf("store: dataset %s: corrupt snapshot %s: %v", datasetID, filepath.Base(path), err)
+	}
+	ds := snap.Dataset
+	if col < 0 || col >= len(ds.Attrs) {
+		return fmt.Errorf("store: dataset %s: compact column %d out of range", datasetID, col)
+	}
+	if len(values) != len(ds.Clusters) {
+		return fmt.Errorf("store: dataset %s: compact values cover %d clusters, snapshot has %d",
+			datasetID, len(values), len(ds.Clusters))
+	}
+	for ci := range ds.Clusters {
+		recs := ds.Clusters[ci].Records
+		if len(values[ci]) != len(recs) {
+			return fmt.Errorf("store: dataset %s: compact cluster %d has %d values, snapshot has %d records",
+				datasetID, ci, len(values[ci]), len(recs))
+		}
+		for ri := range recs {
+			recs[ri].Values[col] = values[ci][ri]
+		}
+	}
+	snap.Version = version + 1
+	if !containsString(snap.Folded, sessionID) {
+		snap.Folded = append(snap.Folded, sessionID)
+		sort.Strings(snap.Folded)
+	}
+	out, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+
+	// Ordering is the crash-safety argument. (1) Archive the final
+	// ReviewState; an orphan state.json is inert. (2) Land the new
+	// snapshot — this is the commit point: the folded set now names this
+	// session, so recovery serves the archive and ignores the WAL no
+	// matter what survives below. (3) Drop the WAL. (4) Flip the meta (a
+	// read-fast-path duplicate of the folded set). (5) Prune obsolete
+	// snapshot versions.
+	//
+	// Steps 3-5 are best-effort: once the snapshot committed, reporting
+	// an error would make the caller treat the fold as failed and keep
+	// the session decidable — but recovery would honor the folded set
+	// and silently discard those later decisions. A lingering WAL or
+	// stale meta, by contrast, is dormant garbage the folded-set overlay
+	// already neutralizes.
+	sessDir := s.sessionDir(datasetID, sessionID)
+	if state != nil {
+		if err := s.writeFileAtomic(filepath.Join(sessDir, "state.json"), state); err != nil {
+			return err
+		}
+	}
+	if err := s.writeFileAtomic(snapshotPath(dsDir, snap.Version), out); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(sessDir, "wal.jsonl"))
+	s.closeWAL(datasetID, sessionID)
+	if meta, err := readMeta[SessionMeta](filepath.Join(sessDir, "meta.json")); err == nil {
+		meta.Compacted = true
+		if metaJSON, err := json.Marshal(meta); err == nil {
+			s.writeFileAtomic(filepath.Join(sessDir, "meta.json"), metaJSON)
+		}
+	}
+	pruneSnapshots(dsDir, snap.Version)
+	return nil
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadSessionState returns the archived ReviewState of a compacted
+// session.
+func (s *FS) LoadSessionState(datasetID, sessionID string) ([]byte, error) {
+	if err := checkID(datasetID); err != nil {
+		return nil, err
+	}
+	if err := checkID(sessionID); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(s.sessionDir(datasetID, sessionID), "state.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: session %s state: %w", sessionID, ErrNotExist)
+	}
+	return raw, err
+}
+
+// Close releases every open WAL handle.
+func (s *FS) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for key, f := range s.wals {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.wals, key)
+	}
+	s.wals = nil
+	return first
+}

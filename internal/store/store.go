@@ -1,0 +1,164 @@
+// Package store is goldrecd's durable persistence subsystem. It
+// preserves the one resource the paper's budgeted-review loop treats as
+// precious — the human reviewer's decisions — across service restarts
+// and TTL evictions.
+//
+// The model is a per-dataset snapshot plus a per-session write-ahead
+// log:
+//
+//   - A dataset snapshot captures the clustered table exactly as it was
+//     ingested (version 1) or as of the last compaction (version N).
+//     Snapshots are immutable once written; a new version replaces the
+//     old atomically.
+//   - A session WAL is an append-only record of every interaction with
+//     the session's goldrec.Session, in order: one "issue" record per
+//     group handed out by NextGroup and one "decide" record per
+//     reviewer verdict. Because group generation is deterministic,
+//     replaying the WAL over the snapshot rebuilds the in-memory
+//     session — including its pending, undecided groups — exactly.
+//   - Compaction folds a finished column's applied decisions into a new
+//     snapshot version, archives the session's final ReviewState, and
+//     deletes its WAL, bounding log growth without losing reviewable
+//     history.
+//
+// Two backends implement Store: Null (no-ops, for tests and stores-off
+// operation) and FS (a directory tree with atomic-rename writes and
+// fsynced WAL appends; see OpenFS for the layout).
+package store
+
+import (
+	"errors"
+	"time"
+
+	"github.com/goldrec/goldrec/table"
+)
+
+// ErrNotExist is returned when a dataset or session is not in the store
+// (never persisted, or deleted).
+var ErrNotExist = errors.New("store: does not exist")
+
+// DatasetMeta describes one persisted dataset.
+type DatasetMeta struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	KeyCol  string    `json:"key_col"`
+	Created time.Time `json:"created"`
+}
+
+// SessionMeta describes one persisted column session.
+type SessionMeta struct {
+	ID        string    `json:"id"`
+	DatasetID string    `json:"dataset_id"`
+	Column    string    `json:"column"`
+	Created   time.Time `json:"created"`
+	// Compacted marks a finished session whose decisions were folded
+	// into the dataset snapshot; its WAL is gone and its final
+	// ReviewState is archived (LoadSessionState).
+	Compacted bool `json:"compacted,omitempty"`
+}
+
+// WALOp is the kind of one WAL record.
+type WALOp string
+
+const (
+	// OpIssue records that NextGroup handed out one more group. Issue
+	// records carry the sequential group id they produced, purely as a
+	// replay cross-check.
+	OpIssue WALOp = "issue"
+	// OpDecide records a reviewer verdict on an issued group.
+	OpDecide WALOp = "decide"
+)
+
+// WALRecord is one entry of a session's decision log. Records are
+// replayed in append order; the interleaving of issues and decides
+// matters because applied decisions change which groups are generated
+// next.
+type WALRecord struct {
+	Op      WALOp `json:"op"`
+	GroupID int   `json:"group"`
+	// Decision is the goldrec.Decision string form ("approve",
+	// "approve-backward", "reject"); empty for issue records.
+	Decision string `json:"decision,omitempty"`
+}
+
+// Store persists datasets and session review logs. Implementations must
+// be safe for concurrent use; goldrecd appends to distinct session WALs
+// from concurrent goroutines.
+type Store interface {
+	// PutDataset writes the dataset's meta and its version-1 snapshot.
+	// It is called once, at upload time, before any session can mutate
+	// the dataset.
+	PutDataset(meta DatasetMeta, ds *table.Dataset) error
+	// LoadDataset returns the meta and the latest snapshot.
+	LoadDataset(id string) (DatasetMeta, *table.Dataset, error)
+	// ListDatasets returns every persisted dataset's meta, oldest first.
+	ListDatasets() ([]DatasetMeta, error)
+	// DeleteDataset removes the dataset, its snapshots and all its
+	// sessions. Deleting a missing dataset is not an error.
+	DeleteDataset(id string) error
+
+	// PutSession writes (or overwrites) a session's meta.
+	PutSession(meta SessionMeta) error
+	// ListSessions returns the dataset's persisted sessions, oldest
+	// first.
+	ListSessions(datasetID string) ([]SessionMeta, error)
+	// FindSession resolves a session id to its meta without knowing the
+	// dataset id.
+	FindSession(sessionID string) (SessionMeta, error)
+	// DeleteSession removes one session's meta, WAL and archived state.
+	// Deleting a missing session is not an error.
+	DeleteSession(datasetID, sessionID string) error
+
+	// AppendWAL durably appends one record to the session's log. The
+	// record must be on stable storage (or as close as the backend
+	// promises; see FSOptions.NoSync) when the call returns.
+	AppendWAL(datasetID, sessionID string, rec WALRecord) error
+	// ReplayWAL streams the session's log in append order. A torn final
+	// record (from a crash mid-append) is silently dropped; corruption
+	// anywhere else is an error. A missing WAL replays zero records.
+	ReplayWAL(datasetID, sessionID string, fn func(WALRecord) error) error
+	// CloseWAL releases any cached handle for the session's log, e.g.
+	// when the owning session is evicted. Appending later reopens it.
+	CloseWAL(datasetID, sessionID string) error
+
+	// CompactSession folds a finished session into the dataset: column
+	// col of the latest snapshot is replaced with values (indexed
+	// [cluster][row]), the session's final ReviewState is archived as
+	// state, its WAL is deleted and its meta marked Compacted.
+	CompactSession(datasetID, sessionID string, col int, values [][]string, state []byte) error
+	// LoadSessionState returns the archived ReviewState of a compacted
+	// session.
+	LoadSessionState(datasetID, sessionID string) ([]byte, error)
+
+	// Close releases backend resources (open WAL handles). The store is
+	// unusable afterwards.
+	Close() error
+}
+
+// Null is the no-op backend: writes vanish, reads find nothing. It is
+// the store of record for tests and for goldrecd without -data-dir,
+// where eviction means deletion exactly as before persistence existed.
+type Null struct{}
+
+var _ Store = Null{}
+
+func (Null) PutDataset(DatasetMeta, *table.Dataset) error { return nil }
+func (Null) LoadDataset(string) (DatasetMeta, *table.Dataset, error) {
+	return DatasetMeta{}, nil, ErrNotExist
+}
+func (Null) ListDatasets() ([]DatasetMeta, error) { return nil, nil }
+func (Null) DeleteDataset(string) error           { return nil }
+
+func (Null) PutSession(SessionMeta) error               { return nil }
+func (Null) ListSessions(string) ([]SessionMeta, error) { return nil, nil }
+func (Null) FindSession(string) (SessionMeta, error)    { return SessionMeta{}, ErrNotExist }
+func (Null) DeleteSession(string, string) error         { return nil }
+
+func (Null) AppendWAL(string, string, WALRecord) error             { return nil }
+func (Null) ReplayWAL(string, string, func(WALRecord) error) error { return nil }
+func (Null) CloseWAL(string, string) error                         { return nil }
+
+func (Null) CompactSession(string, string, int, [][]string, []byte) error { return nil }
+func (Null) LoadSessionState(string, string) ([]byte, error)              { return nil, ErrNotExist }
+
+func (Null) Close() error { return nil }
