@@ -1,0 +1,299 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and gates benchmark regressions against a checked-in
+// baseline. CI uses it to turn benchmark runs into BENCH_*.json
+// artifacts and to fail a build whose hot-path benchmarks regressed
+// beyond a threshold (see docs/ci.md).
+//
+// Convert (reads stdin or the named files):
+//
+//	go test -bench . -benchmem -count=3 ./internal/service | benchjson -o BENCH_service.json
+//
+// Compare a fresh run against a baseline, gating only names matching
+// -match, with a relative ns/op threshold:
+//
+//	benchjson -baseline BENCH_service.json -threshold 0.25 -match 'ConcurrentDecide|RegistryUnderSweep' fresh.json
+//
+// With -count > 1 the best run wins: minimum for ns/op, B/op and
+// allocs/op; maximum for custom rate metrics (units ending in "/s").
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so baselines survive runners with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Doc is the JSON document benchjson emits.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one aggregated benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped;
+	// FullName keeps the raw spelling.
+	Name       string `json:"name"`
+	FullName   string `json:"full_name"`
+	Runs       int    `json:"runs"`
+	Iterations int64  `json:"iterations"`
+	// NsPerOp is the best (minimum) ns/op across runs.
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse consumes `go test -bench` output and aggregates repeated runs.
+func parse(r io.Reader) (Doc, error) {
+	doc := Doc{}
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: Name iterations value unit.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		full := fields[0]
+		name := procSuffix.ReplaceAllString(full, "")
+		b, ok := byName[name]
+		if !ok {
+			b = &Benchmark{Name: name, FullName: full}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs++
+		if iters > b.Iterations {
+			b.Iterations = iters
+		}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Doc{}, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op":
+				if b.Runs == 1 || val < b.NsPerOp {
+					b.NsPerOp = val
+				}
+			case "B/op":
+				if b.Runs == 1 || val < b.BPerOp {
+					b.BPerOp = val
+				}
+			case "allocs/op":
+				if b.Runs == 1 || val < b.AllocsPerOp {
+					b.AllocsPerOp = val
+				}
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				prev, seen := b.Metrics[unit]
+				// Rates: higher is better; everything else: lower is.
+				better := (strings.HasSuffix(unit, "/s") && val > prev) || (!strings.HasSuffix(unit, "/s") && val < prev)
+				if !seen || better {
+					b.Metrics[unit] = val
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Doc{}, err
+	}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, *byName[name])
+	}
+	return doc, nil
+}
+
+// compare gates doc against base: every baseline benchmark whose name
+// matches the filter must appear in doc and must not have regressed its
+// ns/op by more than threshold (relative). Iterating the *baseline*
+// means a gated benchmark that is renamed or stops running fails the
+// gate instead of silently dropping out of it. It returns the human
+// report and whether the gate passed.
+func compare(base, doc Doc, match *regexp.Regexp, threshold float64) (string, bool) {
+	docBy := map[string]Benchmark{}
+	for _, b := range doc.Benchmarks {
+		docBy[b.Name] = b
+	}
+	var rows []string
+	ok := true
+	checked := 0
+	for _, bb := range base.Benchmarks {
+		if match != nil && !match.MatchString(bb.Name) {
+			continue
+		}
+		checked++
+		b, inDoc := docBy[bb.Name]
+		if !inDoc {
+			rows = append(rows, fmt.Sprintf("%-60s %12.1f %12s %8s  MISSING from fresh results",
+				bb.Name, bb.NsPerOp, "-", "-"))
+			ok = false
+			continue
+		}
+		delta := (b.NsPerOp - bb.NsPerOp) / bb.NsPerOp
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			ok = false
+		}
+		rows = append(rows, fmt.Sprintf("%-60s %12.1f %12.1f %+7.1f%%  %s",
+			bb.Name, bb.NsPerOp, b.NsPerOp, delta*100, status))
+	}
+	sort.Strings(rows)
+	header := fmt.Sprintf("%-60s %12s %12s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "status")
+	report := header + strings.Join(rows, "\n")
+	if checked == 0 {
+		return report + "\nno baseline benchmarks matched the gate filter — nothing compared", false
+	}
+	return report, ok
+}
+
+func readDoc(path string) (Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "", "write converted JSON here (default stdout)")
+		baseline  = fs.String("baseline", "", "compare mode: baseline JSON to gate against")
+		threshold = fs.Float64("threshold", 0.25, "compare mode: allowed relative ns/op regression")
+		match     = fs.String("match", "", "compare mode: regexp selecting gated benchmark names (empty = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *baseline != "" {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "benchjson: compare mode needs exactly one fresh-results file")
+			return 2
+		}
+		base, err := readDoc(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		doc, err := readDoc(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		var re *regexp.Regexp
+		if *match != "" {
+			re, err = regexp.Compile(*match)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson: bad -match:", err)
+				return 2
+			}
+		}
+		report, ok := compare(base, doc, re, *threshold)
+		fmt.Fprintln(stdout, report)
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: benchmark gate failed (threshold %+.0f%%)\n", *threshold*100)
+			return 1
+		}
+		return 0
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		readers := make([]io.Reader, 0, fs.NArg())
+		var files []*os.File
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 1
+			}
+			files = append(files, f)
+			readers = append(readers, f)
+		}
+		defer func() {
+			for _, f := range files {
+				f.Close()
+			}
+		}()
+		in = io.MultiReader(readers...)
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		stdout.Write(raw)
+		return 0
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/goldrec/goldrec/internal/service
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkConcurrentDecide/shards=1-8         	  696850	       716.8 ns/op	     120 B/op	       3 allocs/op
+BenchmarkConcurrentDecide/shards=1-8         	  700000	       700.0 ns/op	     118 B/op	       3 allocs/op
+BenchmarkConcurrentDecide/shards=8-8         	  900000	       400.0 ns/op	     120 B/op	       3 allocs/op
+BenchmarkJanitorSweepUnderLoad/shards=8-8    	    1000	    100000 ns/op	         250000 load-ops/s
+BenchmarkJanitorSweepUnderLoad/shards=8-8    	    1200	     90000 ns/op	         300000 load-ops/s
+PASS
+ok  	github.com/goldrec/goldrec/internal/service	2.574s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "github.com/goldrec/goldrec/internal/service" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3 (runs aggregated)", len(doc.Benchmarks))
+	}
+	decide1 := doc.Benchmarks[0]
+	if decide1.Name != "BenchmarkConcurrentDecide/shards=1" {
+		t.Fatalf("name = %q (suffix not stripped?)", decide1.Name)
+	}
+	if decide1.Runs != 2 || decide1.NsPerOp != 700.0 || decide1.BPerOp != 118 {
+		t.Fatalf("aggregation = %+v, want min ns/op 700 over 2 runs", decide1)
+	}
+	sweep := doc.Benchmarks[2]
+	if sweep.NsPerOp != 90000 {
+		t.Fatalf("sweep ns/op = %v, want min 90000", sweep.NsPerOp)
+	}
+	if got := sweep.Metrics["load-ops/s"]; got != 300000 {
+		t.Fatalf("load-ops/s = %v, want max 300000", got)
+	}
+}
+
+func writeDoc(t *testing.T, dir, name, bench string, ns float64) string {
+	t.Helper()
+	doc := Doc{Benchmarks: []Benchmark{{Name: bench, FullName: bench + "-8", Runs: 1, NsPerOp: ns}}}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", "BenchmarkConcurrentDecide/shards=8", 100)
+
+	// Within threshold: passes.
+	ok := writeDoc(t, dir, "ok.json", "BenchmarkConcurrentDecide/shards=8", 110)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, ok}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("10%% slower with 25%% threshold: exit %d, stderr %s", code, errOut.String())
+	}
+
+	// Beyond threshold: fails.
+	slow := writeDoc(t, dir, "slow.json", "BenchmarkConcurrentDecide/shards=8", 200)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, slow}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("2x regression: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report lacks REGRESSION marker:\n%s", out.String())
+	}
+
+	// A filter that matches nothing must fail loudly, not silently pass.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, "-match", "Nope", ok}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("empty gate filter: exit %d, want 1", code)
+	}
+
+	// A baselined, gated benchmark missing from the fresh results fails
+	// the gate (a rename must not silently unguard a hot path).
+	missing := writeDoc(t, dir, "missing.json", "BenchmarkSomethingElse", 10)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, missing}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("missing gated benchmark: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("report lacks MISSING marker:\n%s", out.String())
+	}
+
+	// Faster-than-baseline always passes.
+	fast := writeDoc(t, dir, "fast.json", "BenchmarkConcurrentDecide/shards=8", 40)
+	out.Reset()
+	if code := run([]string{"-baseline", base, fast}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("improvement: exit %d", code)
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-o", outPath}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("convert: exit %d, stderr %s", code, errOut.String())
+	}
+	doc, err := readDoc(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 || doc.CPU == "" {
+		t.Fatalf("round-tripped doc = %+v", doc)
+	}
+
+	// Empty input is an error, not an empty artifact.
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &errOut); code != 1 {
+		t.Fatalf("empty input: exit %d, want 1", code)
+	}
+}

@@ -4,7 +4,7 @@
 // any HTTP client, and export golden records. See docs/goldrecd.md for
 // a curl walkthrough of the API.
 //
-//	goldrecd -addr :8080 -ttl 30m -max-sessions 64 -data-dir /var/lib/goldrecd
+//	goldrecd -addr :8080 -ttl 30m -max-sessions 64 -data-dir /var/lib/goldrecd -shards 16
 //
 // With -data-dir, every dataset and reviewer decision is persisted (a
 // snapshot per dataset plus an append-only decision log per session)
@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		dataDir     = fs.String("data-dir", "", "persist datasets and decision logs here and recover them on boot (empty = memory only)")
 		maxUpload   = fs.Int64("max-upload-bytes", 0, "maximum dataset upload body size in bytes (0 = unlimited)")
 		noSync      = fs.Bool("no-sync", false, "skip fsync on decision-log appends (faster; a host crash may lose the latest decisions)")
+		shards      = fs.Int("shards", 0, "registry lock shards; datasets and sessions on distinct shards never contend (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -74,6 +75,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("%w: unexpected arguments: %v", errUsage, fs.Args())
+	}
+	if *shards < 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: -shards must be >= 0", errUsage)
 	}
 
 	logger := log.New(stderr, "goldrecd: ", log.LstdFlags)
@@ -101,16 +106,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Prefetch:       *prefetch,
 		Store:          st,
 		MaxUploadBytes: *maxUpload,
+		Shards:         *shards,
 		Logf:           logger.Printf,
 	})
 	defer svc.Close()
 
 	if *dataDir != "" {
+		start := time.Now()
 		datasets, sessions, err := svc.Recover()
 		if err != nil {
 			return fmt.Errorf("recovering from %s: %w", *dataDir, err)
 		}
-		logger.Printf("recovered %d dataset(s), %d session(s) from %s", datasets, sessions, *dataDir)
+		logger.Printf("recovered %d dataset(s), %d session(s) from %s in %v (%d recovery shards)",
+			datasets, sessions, *dataDir, time.Since(start).Round(time.Millisecond), svc.Shards())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -124,7 +132,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q)", ln.Addr(), *ttl, *maxSessions, *dataDir)
+	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q shards=%d)", ln.Addr(), *ttl, *maxSessions, *dataDir, svc.Shards())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -24,6 +24,9 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(ctx, []string{"-h"}, io.Discard, nil); !errors.Is(err, flag.ErrHelp) {
 		t.Errorf("-h: %v, want flag.ErrHelp", err)
 	}
+	if err := run(ctx, []string{"-shards", "-3"}, io.Discard, nil); !errors.Is(err, errUsage) {
+		t.Errorf("negative -shards: %v, want errUsage", err)
+	}
 }
 
 func TestRunDataDirValidation(t *testing.T) {
@@ -52,7 +55,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ttl", "0"}, io.Discard, ready)
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ttl", "0", "-shards", "4"}, io.Discard, ready)
 	}()
 
 	var addr string

@@ -1,0 +1,440 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/store"
+)
+
+// mustOpenFS opens a filesystem store or fails the benchmark.
+func mustOpenFS(b *testing.B, dir string) *store.FS {
+	b.Helper()
+	st, err := store.OpenFS(dir, store.FSOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// The service benchmarks quantify what registry sharding buys under
+// multi-dataset load. They raise GOMAXPROCS to at least benchProcs so
+// the lock contention the service would see on a real multi-core box is
+// reproduced even on small CI runners; results feed BENCH_service.json
+// and the CI bench gate (docs/ci.md).
+const benchProcs = 8
+
+// raiseProcs bumps GOMAXPROCS for the benchmark and returns a restore
+// function.
+func raiseProcs(n int) func() {
+	old := runtime.GOMAXPROCS(0)
+	if old >= n {
+		return func() {}
+	}
+	runtime.GOMAXPROCS(n)
+	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// benchFirstGroup waits for the session's generator to issue its first
+// group and returns the group id.
+func benchFirstGroup(svc *Service, sessionID string) (int, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		page, err := svc.PendingGroups(sessionID, 1, nil)
+		if err != nil {
+			return 0, err
+		}
+		if len(page.Groups) > 0 {
+			return page.Groups[0].ID, nil
+		}
+		if page.Status == StatusExhausted || page.Status == StatusStalled {
+			return 0, fmt.Errorf("session %s: %s with no groups", sessionID, page.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("session %s: no group within deadline", sessionID)
+}
+
+// BenchmarkConcurrentDecide is the hot-path contention benchmark: 8
+// datasets, 8 goroutines per dataset, every goroutine driving the
+// service-layer Decide path (session lookup, dataset touch, session
+// mutex, group validation) against its own dataset. The decision
+// targets an already-decided group, so the call is rejected after full
+// validation and the stream never exhausts: what is measured is the
+// per-request routing and locking the registries impose — exactly the
+// part sharding parallelizes — not the engine's apply cost. With one
+// shard every lookup serializes on one lock pair; with 8, distinct
+// datasets almost never share one.
+func BenchmarkConcurrentDecide(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			svc := New(Options{Shards: shards, Prefetch: 2})
+			defer svc.Close()
+			const datasets = 8
+			type target struct {
+				sess string
+				gid  int
+			}
+			targets := make([]target, datasets)
+			for i := range targets {
+				ds, err := svc.CreateDataset(fmt.Sprintf("bench-%d", i), "key", "", strings.NewReader(paperCSV))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess, err := svc.OpenSession(ds.ID, "Name")
+				if err != nil {
+					b.Fatal(err)
+				}
+				gid, err := benchFirstGroup(svc, sess.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := svc.Decide(sess.ID, gid, goldrec.Rejected); err != nil {
+					b.Fatal(err)
+				}
+				targets[i] = target{sess: sess.ID, gid: gid}
+			}
+			var next atomic.Int64
+			b.SetParallelism((datasets * 8) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tg := targets[int(next.Add(1)-1)%datasets]
+				for pb.Next() {
+					if _, err := svc.Decide(tg.sess, tg.gid, goldrec.Approved); !errors.Is(err, ErrConflict) {
+						b.Fatalf("Decide = %v, want ErrConflict", err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkReviewChurn measures the full dataset lifecycle under
+// concurrency: upload, open a column session, decide the first group,
+// export, delete. Unlike BenchmarkConcurrentDecide this includes the
+// engine's candidate generation, so per-op cost is dominated by real
+// work; the shard axis shows the registries stay out of the way.
+func BenchmarkReviewChurn(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			svc := New(Options{Shards: shards, Prefetch: 2})
+			defer svc.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					ds, err := svc.CreateDataset("churn", "key", "", strings.NewReader(paperCSV))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sess, err := svc.OpenSession(ds.ID, "Name")
+					if err != nil {
+						b.Fatal(err)
+					}
+					gid, err := benchFirstGroup(svc, sess.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := svc.Decide(sess.ID, gid, goldrec.Rejected); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := svc.Export(ds.ID, false); err != nil {
+						b.Fatal(err)
+					}
+					if err := svc.DeleteDataset(ds.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// legacyRegistry replicates the pre-sharding registry this PR replaced:
+// one RWMutex over one map, with get taking the exclusive lock (the
+// idle timestamp was a plain field) and expiry scanning the whole map
+// under the read lock. It exists only as the benchmark baseline the
+// sharded numbers are gated against.
+type legacyRegistry struct {
+	mu    sync.RWMutex
+	items map[string]*legacyItem
+	ttl   time.Duration
+	clock Clock
+}
+
+type legacyItem struct {
+	val      int
+	lastUsed time.Time
+}
+
+func newLegacyRegistry(ttl time.Duration, clock Clock) *legacyRegistry {
+	return &legacyRegistry{items: make(map[string]*legacyItem), ttl: ttl, clock: clock}
+}
+
+func (r *legacyRegistry) add(id string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[id] = &legacyItem{val: v, lastUsed: r.clock.Now()}
+}
+
+func (r *legacyRegistry) get(id string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it, ok := r.items[id]
+	if !ok {
+		return 0, false
+	}
+	it.lastUsed = r.clock.Now()
+	return it.val, true
+}
+
+func (r *legacyRegistry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.items, id)
+}
+
+func (r *legacyRegistry) expired() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cutoff := r.clock.Now().Add(-r.ttl)
+	var ids []string
+	for id, it := range r.items {
+		if it.lastUsed.Before(cutoff) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// BenchmarkRegistryUnderSweep is the headline comparison against the
+// replaced design: 8 goroutines performing the per-request registry
+// pattern (session get + dataset touch) while a janitor continuously
+// sweeps for expired entries over a 64k-entry registry. In the legacy
+// single-lock registry every lookup takes the exclusive lock and the
+// sweep holds the read lock for the full scan, so lookups stall behind
+// whole-map sweeps; in the sharded registry lookups are read-locked,
+// timestamps are atomic, and a sweep only ever holds one shard.
+func BenchmarkRegistryUnderSweep(b *testing.B) {
+	const n = 65536
+	run := func(b *testing.B, get func(i int), sweep func()) {
+		defer raiseProcs(benchProcs)()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sweep()
+				}
+			}
+		}()
+		var seed atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(seed.Add(7919))
+			for pb.Next() {
+				get(i % n)
+				i++
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	fc := newFakeClock(time.Unix(1700000000, 0))
+
+	b.Run("legacy", func(b *testing.B) {
+		r := newLegacyRegistry(time.Hour, fc)
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("cs_%08d", i)
+			r.add(ids[i], i)
+		}
+		run(b,
+			func(i int) {
+				if _, ok := r.get(ids[i]); !ok {
+					b.Fatal("live id missing")
+				}
+			},
+			func() {
+				if exp := r.expired(); exp != nil {
+					b.Fatal("unexpected expiry")
+				}
+			})
+	})
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := newRegistry[int]("cs", shards, time.Hour, fc)
+			ids := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				ids = append(ids, r.add(i, nil))
+			}
+			run(b,
+				func(i int) {
+					if _, ok := r.get(ids[i]); !ok {
+						b.Fatal("live id missing")
+					}
+				},
+				func() {
+					for s := 0; s < r.numShards(); s++ {
+						if exp := r.expiredShard(s); exp != nil {
+							b.Fatal("unexpected expiry")
+						}
+					}
+				})
+		})
+	}
+}
+
+// BenchmarkRegistryGetTouch is the registry microbenchmark: concurrent
+// id lookups (each refreshing the idle timestamp) over a populated
+// registry, the operation every API request performs twice (session
+// get + dataset touch).
+func BenchmarkRegistryGetTouch(b *testing.B) {
+	for _, shards := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			fc := newFakeClock(time.Unix(1700000000, 0))
+			r := newRegistry[int]("cs", shards, time.Hour, fc)
+			const n = 16384
+			ids := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				ids = append(ids, r.add(i, nil))
+			}
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seed.Add(7919)) // distinct stride per goroutine
+				for pb.Next() {
+					if _, ok := r.get(ids[i%n]); !ok {
+						b.Fatal("live id missing")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkJanitorSweepUnderLoad measures one full TTL sweep (all
+// shards, none expired) over a 64k-entry registry while mixed
+// get/add/remove traffic runs on every shard — the background cost a
+// janitor pass imposes on a loaded server. Per-shard sweeps hold one
+// shard's lock at a time, so reader and writer throughput (reported as
+// load-ops/s) survives the sweep.
+func BenchmarkJanitorSweepUnderLoad(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			fc := newFakeClock(time.Unix(1700000000, 0))
+			r := newRegistry[int]("cs", shards, time.Hour, fc)
+			const n = 65536
+			ids := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				ids = append(ids, r.add(i, nil))
+			}
+			stop := make(chan struct{})
+			var loadOps atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if i%16 == 0 {
+							id := r.add(i, nil)
+							r.remove(id)
+						} else {
+							r.get(ids[i%n])
+						}
+						loadOps.Add(1)
+						i += 7919
+					}
+				}(g)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < r.numShards(); s++ {
+					if exp := r.expiredShard(s); exp != nil {
+						b.Fatalf("nothing should expire, got %d ids", len(exp))
+					}
+				}
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			close(stop)
+			wg.Wait()
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(loadOps.Load())/s, "load-ops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures boot-time recovery of a store directory
+// holding several mid-review datasets — parallelized across shards, so
+// the shard axis is the recovery-concurrency axis.
+func BenchmarkRecover(b *testing.B) {
+	dir := b.TempDir()
+	seedStore := mustOpenFS(b, dir)
+	seed := New(Options{Prefetch: 2, Store: seedStore})
+	const datasets = 6
+	for i := 0; i < datasets; i++ {
+		ds, err := seed.CreateDataset(fmt.Sprintf("bench-%d", i), "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := seed.OpenSession(ds.ID, "Name")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gid, err := benchFirstGroup(seed, sess.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seed.Decide(sess.ID, gid, goldrec.Approved); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed.Close()
+	seedStore.Close()
+
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			for i := 0; i < b.N; i++ {
+				st := mustOpenFS(b, dir)
+				svc := New(Options{Prefetch: 2, Store: st, Shards: shards})
+				nds, _, err := svc.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nds != datasets {
+					b.Fatalf("recovered %d datasets, want %d", nds, datasets)
+				}
+				b.StopTimer()
+				svc.Close()
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package service
+
+import "time"
+
+// Clock abstracts time for the registries and their janitors. The real
+// service uses realClock; tests inject a fake so TTL eviction and
+// passivation are driven by explicit time advances instead of sleeps.
+type Clock interface {
+	Now() time.Time
+	// NewTicker returns a ticker firing every d. The janitors own one
+	// per shard.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the janitors need.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }

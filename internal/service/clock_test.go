@@ -1,0 +1,105 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock: tests move time with Advance
+// instead of sleeping, which drives TTL eviction, passivation and the
+// per-shard janitor tickers deterministically.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+func newFakeClock(start time.Time) *fakeClock {
+	return &fakeClock{now: start}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("fakeClock: non-positive ticker interval")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTicker{clock: c, ch: make(chan time.Time, 1), interval: d, next: c.now.Add(d)}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// tickerCount reports how many tickers are registered — tests use it to
+// wait until every janitor goroutine owns its ticker before advancing.
+func (c *fakeClock) tickerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tickers)
+}
+
+// Advance moves the clock forward and fires every ticker whose deadline
+// passed. Tick delivery is non-blocking (like time.Ticker, a slow
+// receiver drops ticks).
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	for _, t := range c.tickers {
+		if t.stopped {
+			continue
+		}
+		for !t.next.After(c.now) {
+			select {
+			case t.ch <- t.next:
+			default:
+			}
+			t.next = t.next.Add(t.interval)
+		}
+	}
+}
+
+type fakeTicker struct {
+	clock    *fakeClock
+	ch       chan time.Time
+	interval time.Duration
+	next     time.Time // guarded by clock.mu
+	stopped  bool      // guarded by clock.mu
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	t.stopped = true
+}
+
+func TestFakeClockTicker(t *testing.T) {
+	fc := newFakeClock(time.Unix(1700000000, 0))
+	tk := fc.NewTicker(time.Minute)
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before any advance")
+	default:
+	}
+	fc.Advance(90 * time.Second)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("ticker did not fire after 90s advance")
+	}
+	tk.Stop()
+	fc.Advance(5 * time.Minute)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}

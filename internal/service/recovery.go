@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/store"
@@ -17,30 +18,58 @@ import (
 // and then resume generating groups. goldrecd calls this once at boot,
 // before serving traffic; datasets that fail to restore are logged and
 // skipped so one corrupt entry cannot hold the whole service down.
+//
+// Recovery is parallel across registry shards: datasets are partitioned
+// by the shard their id hashes to and one goroutine per shard replays
+// its datasets' snapshots and WALs, serialized only by that shard's
+// restore lock. The resulting state is identical for any shard count —
+// restores of distinct datasets are independent.
 func (s *Service) Recover() (datasets, sessions int, err error) {
 	metas, err := s.store.ListDatasets()
 	if err != nil {
 		return 0, 0, fmt.Errorf("%w: listing datasets: %v", ErrStorage, err)
 	}
+	byShard := make([][]store.DatasetMeta, s.datasets.numShards())
 	for _, m := range metas {
-		_, n, err := s.restoreDataset(m.ID)
-		if err != nil {
-			s.opts.Logf("recover: dataset %s: %v", m.ID, err)
+		i := s.datasets.shardIndex(m.ID)
+		byShard[i] = append(byShard[i], m)
+	}
+	var (
+		wg       sync.WaitGroup
+		nDataset atomic.Int64
+		nSession atomic.Int64
+	)
+	for _, shard := range byShard {
+		if len(shard) == 0 {
 			continue
 		}
-		datasets++
-		sessions += n
+		wg.Add(1)
+		go func(metas []store.DatasetMeta) {
+			defer wg.Done()
+			for _, m := range metas {
+				_, n, err := s.restoreDataset(m.ID)
+				if err != nil {
+					s.opts.Logf("recover: dataset %s: %v", m.ID, err)
+					continue
+				}
+				nDataset.Add(1)
+				nSession.Add(int64(n))
+			}
+		}(shard)
 	}
-	return datasets, sessions, nil
+	wg.Wait()
+	return int(nDataset.Load()), int(nSession.Load()), nil
 }
 
 // restoreDataset rebuilds one dataset (and all its sessions) from the
 // store, registering them under their persisted ids. Concurrent misses
-// on the same dataset serialize on restoreMu; losers find it live and
-// return early.
+// on the same dataset serialize on its shard's restore lock; losers
+// find it live and return early. Datasets on distinct shards restore in
+// parallel.
 func (s *Service) restoreDataset(id string) (*dataset, int, error) {
-	s.restoreMu.Lock()
-	defer s.restoreMu.Unlock()
+	mu := &s.restoreMu[s.datasets.shardIndex(id)]
+	mu.Lock()
+	defer mu.Unlock()
 	if d, ok := s.datasets.get(id); ok {
 		return d, 0, nil
 	}

@@ -7,8 +7,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
@@ -33,6 +33,23 @@ func storeDir(t *testing.T) string {
 	return t.TempDir()
 }
 
+// testShards returns the registry shard count for the recovery suite:
+// GOLDREC_TEST_SHARDS when set (CI runs the suite with 1 and 16), else
+// the service default. Durable state is shard-agnostic, so every value
+// must produce identical recoveries.
+func testShards(t *testing.T) int {
+	t.Helper()
+	v := os.Getenv("GOLDREC_TEST_SHARDS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad GOLDREC_TEST_SHARDS=%q", v)
+	}
+	return n
+}
+
 // bootService opens (or reopens) a persistent service over dir and
 // recovers whatever the store holds. The caller kills it with
 // killService to simulate a crash.
@@ -42,7 +59,7 @@ func bootService(t *testing.T, dir string, prefetch int) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := New(Options{Prefetch: prefetch, Store: fsStore})
+	svc := New(Options{Prefetch: prefetch, Store: fsStore, Shards: testShards(t)})
 	if _, _, err := svc.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -299,24 +316,14 @@ func TestRestartOverHTTP(t *testing.T) {
 // passivation: the evicted dataset and session come back transparently
 // on the next API touch instead of 404ing, with review state intact.
 func TestPassivationReloadsOnTouch(t *testing.T) {
-	var clockMu sync.Mutex
-	now := time.Unix(1700000000, 0)
-	clock := func() time.Time {
-		clockMu.Lock()
-		defer clockMu.Unlock()
-		return now
-	}
-	advance := func(d time.Duration) {
-		clockMu.Lock()
-		now = now.Add(d)
-		clockMu.Unlock()
-	}
-
+	fc := newFakeClock(time.Unix(1700000000, 0))
 	fsStore, err := store.OpenFS(storeDir(t), store.FSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := New(Options{TTL: time.Minute, Prefetch: 2, Store: fsStore, now: clock})
+	// The huge JanitorInterval keeps janitor ticks (driven by the same
+	// fake clock) from racing the direct EvictExpired calls below.
+	svc := New(Options{TTL: time.Minute, JanitorInterval: 24 * time.Hour, Prefetch: 2, Store: fsStore, clock: fc, Shards: testShards(t)})
 	defer func() { svc.Close(); fsStore.Close() }()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -332,7 +339,7 @@ func TestPassivationReloadsOnTouch(t *testing.T) {
 	}
 	preEvict := quiesce(t, svc, sess.ID, 2)
 
-	advance(2 * time.Minute)
+	fc.Advance(2 * time.Minute)
 	if d, c := svc.EvictExpired(); d != 1 || c != 1 {
 		t.Fatalf("evicted %d datasets, %d sessions, want 1 and 1", d, c)
 	}
@@ -363,7 +370,7 @@ func TestPassivationReloadsOnTouch(t *testing.T) {
 	}
 
 	// A second eviction cycle exercises reload-from-already-restored.
-	advance(2 * time.Minute)
+	fc.Advance(2 * time.Minute)
 	if d, _ := svc.EvictExpired(); d != 1 {
 		t.Fatalf("second eviction: %d datasets", d)
 	}

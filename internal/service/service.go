@@ -16,11 +16,15 @@
 //     reviewers need no in-process pointers and can reconnect at any
 //     time (goldrec.Session.ReviewState rebuilds their view).
 //
-// Concurrency: the registries are guarded by sync.RWMutex; each column
-// session serializes access to its goldrec.Session with its own mutex;
-// and a per-dataset RWMutex lets sessions on distinct columns apply
-// concurrently (read side) while golden-record export (write side)
-// sees a quiescent dataset.
+// Concurrency: the registries are sharded — ids hash to one of N
+// shards (Options.Shards, default GOMAXPROCS), each with its own
+// RWMutex, id→entry map and TTL janitor — so traffic on distinct
+// datasets or sessions almost never contends on a shared lock, and an
+// eviction sweep of one shard never blocks lookups on another. Each
+// column session serializes access to its goldrec.Session with its own
+// mutex; and a per-dataset RWMutex lets sessions on distinct columns
+// apply concurrently (read side) while golden-record export (write
+// side) sees a quiescent dataset.
 //
 // Durability: every state transition is persisted through a store.Store
 // before it is acknowledged — uploads snapshot the dataset, session
@@ -41,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -95,27 +100,36 @@ type Options struct {
 	// MaxUploadBytes caps the request body of a dataset upload
 	// (0 = unlimited).
 	MaxUploadBytes int64
+	// Shards is how many lock shards each registry is partitioned into
+	// (0 = GOMAXPROCS). Traffic on distinct datasets contends only when
+	// their ids hash to the same shard; each shard gets its own TTL
+	// janitor. Shard count does not affect durable state: the same
+	// store directory recovers identically under any value.
+	Shards int
 
-	// now substitutes the clock in tests.
-	now func() time.Time
+	// clock substitutes time in tests (nil = wall clock).
+	clock Clock
 }
 
 // Service owns the dataset and session registries.
 type Service struct {
 	opts     Options
 	store    store.Store
-	datasets *registry[*dataset]
-	sessions *registry[*columnSession]
+	clock    Clock
+	datasets *shardedRegistry[*dataset]
+	sessions *shardedRegistry[*columnSession]
 
 	mu     sync.Mutex // guards closed and the session-count check-and-add
 	closed bool
 
 	// restoreMu serializes passivation misses so one goroutine rebuilds
-	// a dataset while the others wait and then find it live.
-	restoreMu sync.Mutex
+	// a dataset while the others wait and then find it live. One mutex
+	// per dataset shard: restores of datasets on distinct shards (and
+	// boot-time recovery goroutines) proceed in parallel.
+	restoreMu []sync.Mutex
 
 	janitorStop chan struct{}
-	janitorDone chan struct{}
+	janitorDone sync.WaitGroup
 }
 
 // New returns a ready Service and starts its eviction janitor (when the
@@ -133,17 +147,22 @@ func New(opts Options) *Service {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	if opts.now == nil {
-		opts.now = time.Now
+	if opts.clock == nil {
+		opts.clock = realClock{}
 	}
 	if opts.Store == nil {
 		opts.Store = store.Null{}
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
 	s := &Service{
-		opts:     opts,
-		store:    opts.Store,
-		datasets: newRegistry[*dataset]("ds", opts.TTL, opts.now),
-		sessions: newRegistry[*columnSession]("cs", opts.TTL, opts.now),
+		opts:      opts,
+		store:     opts.Store,
+		clock:     opts.clock,
+		datasets:  newRegistry[*dataset]("ds", opts.Shards, opts.TTL, opts.clock),
+		sessions:  newRegistry[*columnSession]("cs", opts.Shards, opts.TTL, opts.clock),
+		restoreMu: make([]sync.Mutex, opts.Shards),
 	}
 	if opts.TTL > 0 {
 		interval := opts.JanitorInterval
@@ -151,11 +170,18 @@ func New(opts Options) *Service {
 			interval = opts.TTL / 4
 		}
 		s.janitorStop = make(chan struct{})
-		s.janitorDone = make(chan struct{})
-		go s.janitor(interval)
+		// One janitor per shard: a sweep only ever holds one shard's
+		// lock, so eviction on a cold shard never stalls a hot one.
+		for i := 0; i < opts.Shards; i++ {
+			s.janitorDone.Add(1)
+			go s.janitor(i, interval)
+		}
 	}
 	return s
 }
+
+// Shards returns the registries' shard count.
+func (s *Service) Shards() int { return s.opts.Shards }
 
 // Close stops the janitor and every session generator. In-flight HTTP
 // requests against removed sessions fail with ErrNotFound.
@@ -169,7 +195,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	if s.janitorStop != nil {
 		close(s.janitorStop)
-		<-s.janitorDone
+		s.janitorDone.Wait()
 	}
 	for _, cs := range s.sessions.list() {
 		s.closeSession(cs)
@@ -179,18 +205,19 @@ func (s *Service) Close() {
 	}
 }
 
-func (s *Service) janitor(interval time.Duration) {
-	defer close(s.janitorDone)
-	t := time.NewTicker(interval)
+// janitor sweeps one shard of both registries on its own ticker.
+func (s *Service) janitor(shard int, interval time.Duration) {
+	defer s.janitorDone.Done()
+	t := s.clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.janitorStop:
 			return
-		case <-t.C:
-			ds, cs := s.EvictExpired()
+		case <-t.C():
+			ds, cs := s.evictExpiredShard(shard)
 			if ds+cs > 0 {
-				s.opts.Logf("janitor: evicted %d dataset(s), %d session(s)", ds, cs)
+				s.opts.Logf("janitor[%d]: evicted %d dataset(s), %d session(s)", shard, ds, cs)
 			}
 		}
 	}
@@ -211,33 +238,63 @@ func (s *Service) janitor(interval time.Duration) {
 //     (Session touches refresh the dataset, so an idle dataset implies
 //     idle sessions.)
 //
-// The janitor calls this periodically; tests call it directly with a
-// fake clock.
+// The per-shard janitors call evictExpiredShard periodically; tests
+// call EvictExpired (a full sweep) directly with a fake clock.
 func (s *Service) EvictExpired() (datasetsEvicted, sessionsEvicted int) {
+	for i := 0; i < s.opts.Shards; i++ {
+		ds, cs := s.evictExpiredShard(i)
+		datasetsEvicted += ds
+		sessionsEvicted += cs
+	}
+	return datasetsEvicted, sessionsEvicted
+}
+
+// evictExpiredShard sweeps shard i of both registries. A dataset's
+// sessions are found through its own column→session table rather than
+// a scan of the whole session registry, so evicting one dataset is
+// O(its sessions), never O(all sessions).
+func (s *Service) evictExpiredShard(i int) (datasetsEvicted, sessionsEvicted int) {
 	if !s.persistent() {
-		for _, id := range s.sessions.expired() {
+		for _, id := range s.sessions.expiredShard(i) {
 			if cs, ok := s.sessions.get(id); ok {
 				s.closeSession(cs)
 				sessionsEvicted++
 			}
 		}
 	}
-	for _, id := range s.datasets.expired() {
-		if _, ok := s.datasets.remove(id); !ok {
+	for _, id := range s.datasets.expiredShard(i) {
+		d, ok := s.datasets.remove(id)
+		if !ok {
 			continue
 		}
 		datasetsEvicted++
 		// A dataset takes its sessions with it. Their decision WALs are
 		// already durable (appends precede acknowledgements), so
 		// passivation writes nothing.
-		for _, cs := range s.sessions.list() {
-			if cs.datasetID == id {
-				s.closeSession(cs)
-				sessionsEvicted++
-			}
+		for _, cs := range s.datasetSessions(d) {
+			s.closeSession(cs)
+			sessionsEvicted++
 		}
 	}
 	return datasetsEvicted, sessionsEvicted
+}
+
+// datasetSessions returns the live sessions registered on d's columns.
+func (s *Service) datasetSessions(d *dataset) []*columnSession {
+	d.mu.Lock()
+	ids := make([]string, 0, len(d.columns))
+	for _, sid := range d.columns {
+		ids = append(ids, sid)
+	}
+	d.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]*columnSession, 0, len(ids))
+	for _, sid := range ids {
+		if cs, ok := s.sessions.get(sid); ok {
+			out = append(out, cs)
+		}
+	}
+	return out
 }
 
 // persistent reports whether evicted state is restorable from the
@@ -318,7 +375,7 @@ func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (Dat
 		return DatasetInfo{}, err
 	}
 	d := &dataset{
-		created: s.opts.now(),
+		created: s.clock.Now(),
 		keyCol:  keyCol,
 		cons:    cons,
 		columns: make(map[int]string),
@@ -383,12 +440,13 @@ func (s *Service) ListDatasets() []DatasetInfo {
 
 // DeleteDataset removes a dataset and closes its sessions. Unlike
 // eviction, deletion purges the durable state too: a deleted dataset is
-// gone for good. It holds restoreMu so a concurrent touch of one of the
-// dataset's ids cannot resurrect it from the store between the
-// in-memory remove and the durable purge.
+// gone for good. It holds the dataset's shard restore lock so a
+// concurrent touch of one of the dataset's ids cannot resurrect it from
+// the store between the in-memory remove and the durable purge.
 func (s *Service) DeleteDataset(id string) error {
-	s.restoreMu.Lock()
-	defer s.restoreMu.Unlock()
+	mu := &s.restoreMu[s.datasets.shardIndex(id)]
+	mu.Lock()
+	defer mu.Unlock()
 	_, live := s.datasets.remove(id)
 	if !live {
 		// Not in memory — it may still be a passivated dataset in the
@@ -397,10 +455,18 @@ func (s *Service) DeleteDataset(id string) error {
 			return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
 		}
 	}
-	for _, cs := range s.sessions.list() {
+	// Deletion is a cold path, so a full scan (shard by shard, no
+	// cross-shard lock) is an acceptable safety net: it also catches a
+	// session whose dataset entry is already gone.
+	var victims []*columnSession
+	s.sessions.rangeAll(func(_ string, cs *columnSession) bool {
 		if cs.datasetID == id {
-			s.closeSession(cs)
+			victims = append(victims, cs)
 		}
+		return true
+	})
+	for _, cs := range victims {
+		s.closeSession(cs)
 	}
 	if err := s.store.DeleteDataset(id); err != nil {
 		return fmt.Errorf("%w: deleting dataset %s: %v", ErrStorage, id, err)
@@ -490,7 +556,7 @@ func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
 	// Persist the session before its generator can append WAL records
 	// (the store needs the session registered to accept appends). A
 	// session that cannot be persisted must not run.
-	meta := store.SessionMeta{ID: cs.id, DatasetID: datasetID, Column: column, Created: s.opts.now()}
+	meta := store.SessionMeta{ID: cs.id, DatasetID: datasetID, Column: column, Created: s.clock.Now()}
 	if err := s.store.PutSession(meta); err != nil {
 		s.closeSession(cs)
 		return SessionInfo{}, fmt.Errorf("%w: persisting session: %v", ErrStorage, err)

@@ -304,35 +304,27 @@ func TestConcurrentColumns(t *testing.T) {
 // touched entries survive, idle ones go, and a dataset takes its
 // sessions with it.
 func TestTTLEviction(t *testing.T) {
-	var clockMu sync.Mutex
-	now := time.Unix(1700000000, 0)
-	clock := func() time.Time {
-		clockMu.Lock()
-		defer clockMu.Unlock()
-		return now
-	}
-	advance := func(d time.Duration) {
-		clockMu.Lock()
-		now = now.Add(d)
-		clockMu.Unlock()
-	}
-	svc, ts := newTestServer(t, Options{TTL: time.Minute, now: clock})
+	fc := newFakeClock(time.Unix(1700000000, 0))
+	// JanitorInterval is far beyond every Advance below: the test calls
+	// EvictExpired directly and asserts exact counts, which a janitor
+	// tick racing in from the shared fake clock would steal.
+	svc, ts := newTestServer(t, Options{TTL: time.Minute, JanitorInterval: 24 * time.Hour, clock: fc})
 
 	ds := uploadPaperDataset(t, ts.URL)
 	sess := openSession(t, ts.URL, ds.ID, "Name")
 
 	// Accessing the session keeps both it and its dataset alive.
-	advance(45 * time.Second)
+	fc.Advance(45 * time.Second)
 	if status := doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, nil); status != http.StatusOK {
 		t.Fatalf("touch session: status %d", status)
 	}
-	advance(45 * time.Second)
+	fc.Advance(45 * time.Second)
 	if d, c := svc.EvictExpired(); d != 0 || c != 0 {
 		t.Fatalf("evicted %d datasets, %d sessions after touch", d, c)
 	}
 
 	// 90 idle seconds later both are gone, the session via its dataset.
-	advance(90 * time.Second)
+	fc.Advance(90 * time.Second)
 	if d, c := svc.EvictExpired(); d != 1 || c != 1 {
 		t.Fatalf("evicted %d datasets, %d sessions, want 1 and 1", d, c)
 	}
@@ -420,14 +412,8 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	var clockMu sync.Mutex
-	now := time.Unix(1700000000, 0)
-	clock := func() time.Time {
-		clockMu.Lock()
-		defer clockMu.Unlock()
-		return now
-	}
-	r := newRegistry[int]("x", time.Minute, clock)
+	fc := newFakeClock(time.Unix(1700000000, 0))
+	r := newRegistry[int]("x", 4, time.Minute, fc)
 	var assigned string
 	a := r.add(1, func(id string) { assigned = id })
 	b := r.add(2, nil)
@@ -446,9 +432,7 @@ func TestRegistry(t *testing.T) {
 	if v, ok := r.get(a); !ok || v != 1 {
 		t.Fatalf("get(a) = %d, %v", v, ok)
 	}
-	clockMu.Lock()
-	now = now.Add(2 * time.Minute)
-	clockMu.Unlock()
+	fc.Advance(2 * time.Minute)
 	if exp := r.expired(); len(exp) != 2 {
 		t.Fatalf("expired = %v, want both", exp)
 	}
