@@ -21,6 +21,8 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -122,18 +124,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				len(rf.Groups), *exportReview)
 			continue
 		case *applyReview != "":
-			// Regenerate the same groups, then apply the reviewer's
-			// decisions (IDs address the regenerated export order).
-			var scratch strings.Builder
-			if _, err := sess.ExportReview(&scratch, *budget); err != nil {
-				return err
-			}
-			f, err := os.Open(*applyReview)
+			// Regenerate the original export, then apply the reviewer's
+			// decisions (ids address the regenerated export order). The
+			// file's own "exported" count sizes the regeneration —
+			// ApplyReview validates the export token, so re-exporting at
+			// any other size (say, this run's -budget) would reject the
+			// file as stale.
+			raw, err := os.ReadFile(*applyReview)
 			if err != nil {
 				return err
 			}
-			stats, err := sess.ApplyReview(f)
-			f.Close()
+			var rf goldrec.ReviewFile
+			if err := json.Unmarshal(raw, &rf); err != nil {
+				return fmt.Errorf("reading review file %s: %w", *applyReview, err)
+			}
+			var scratch strings.Builder
+			if _, err := sess.ExportReview(&scratch, rf.Exported); err != nil {
+				return err
+			}
+			stats, err := sess.ApplyReview(bytes.NewReader(raw))
 			if err != nil {
 				return err
 			}

@@ -158,3 +158,36 @@ func TestRunReviewRoundTrip(t *testing.T) {
 		t.Errorf("standardized output missing: %v", err)
 	}
 }
+
+// TestRunApplyReviewBudgetIndependent: the apply run regenerates the
+// export at the file's recorded size, so it must work without
+// repeating the export run's -budget flag (the file carries an export
+// token that any other regeneration size would fail).
+func TestRunApplyReviewBudgetIndependent(t *testing.T) {
+	in := writeSmokeCSV(t)
+	review := filepath.Join(filepath.Dir(in), "review.json")
+
+	var out strings.Builder
+	if err := run([]string{"-in", in, "-key", "key", "-col", "Name", "-budget", "1", "-export-review", review},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	data, err := os.ReadFile(review)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled := strings.Replace(string(data), `"decision": ""`, `"decision": "approve"`, 1)
+	if err := os.WriteFile(review, []byte(filled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply with the default -budget (not 1): must still match.
+	out.Reset()
+	if err := run([]string{"-in", in, "-key", "key", "-col", "Name", "-apply-review", review},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("apply without -budget: %v", err)
+	}
+	if !strings.Contains(out.String(), "applied 1 approved groups") {
+		t.Errorf("apply output:\n%s", out.String())
+	}
+}

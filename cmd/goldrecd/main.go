@@ -1,8 +1,9 @@
 // Command goldrecd serves the goldrec consolidation pipeline over HTTP:
 // upload clustered CSVs, open per-column review sessions whose group
 // discovery runs in the background, post approve/reject decisions from
-// any HTTP client, and export golden records. See docs/goldrecd.md for
-// a curl walkthrough of the API.
+// any HTTP client, plan a fixed review budget across columns by
+// expected gain (GET /v1/plan?budget=N), and export golden records.
+// See docs/goldrecd.md for a curl walkthrough of the API.
 //
 //	goldrecd -addr :8080 -ttl 30m -max-sessions 64 -data-dir /var/lib/goldrecd -shards 16
 //

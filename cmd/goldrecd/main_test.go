@@ -90,6 +90,27 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatalf("data dir after upload: %v entries, err %v", entries, err)
 	}
 
+	// The budget planner is wired through the real stack: a bare plan
+	// over a service with no sessions is an empty-but-valid allocation,
+	// and a missing budget is rejected.
+	resp, err = http.Get("http://" + addr + "/v1/plan?budget=5")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"allocated": 0`) {
+		t.Fatalf("plan status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/plan")
+	if err != nil {
+		t.Fatalf("plan without budget: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plan without budget: status = %d, want 400", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -119,7 +140,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if !strings.Contains(string(body), `"clusters": 1`) {
 		t.Fatalf("recovered dataset listing = %s", body)

@@ -389,6 +389,77 @@ func BenchmarkJanitorSweepUnderLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkPlan measures the budget planner's hot path: collecting
+// every live session's pending groups shard by shard, pricing them by
+// expected gain, and ranking a cross-column allocation. The fixture is
+// 8 mid-review datasets with both columns under review and all groups
+// pending, so each plan walks the full candidate pool; the shard axis
+// confirms collection stays contention-free. Gated by CI: a regression
+// here means the planner started blocking sessions or copying too
+// much.
+func BenchmarkPlan(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			svc := New(Options{Shards: shards, Prefetch: 1 << 20})
+			defer svc.Close()
+			const datasets = 8
+			var sessions []string
+			for i := 0; i < datasets; i++ {
+				ds, err := svc.CreateDataset(fmt.Sprintf("bench-%d", i), "key", "", strings.NewReader(paperCSV))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, col := range []string{"Name", "Address"} {
+					sess, err := svc.OpenSession(ds.ID, col)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sessions = append(sessions, sess.ID)
+				}
+			}
+			// Wait for every generator to exhaust with all groups
+			// pending, the planner's worst (and steady-state) case.
+			deadline := time.Now().Add(60 * time.Second)
+			for _, id := range sessions {
+				for {
+					st, err := svc.ReviewState(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Exhausted {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("session %s never exhausted", id)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			probe, err := svc.Plan(1 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probe.Pending == 0 {
+				b.Fatal("no pending groups to plan over")
+			}
+			budget := probe.Pending / 2
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					plan, err := svc.Plan(budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if plan.Allocated != budget {
+						b.Fatalf("allocated %d, want %d", plan.Allocated, budget)
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkRecover measures boot-time recovery of a store directory
 // holding several mid-review datasets — parallelized across shards, so
 // the shard axis is the recovery-concurrency axis.

@@ -34,6 +34,8 @@ const maxWait = 25 * time.Second
 //	GET    /v1/sessions/{id}/groups?limit=N&wait=true
 //	GET    /v1/sessions/{id}/state
 //	POST   /v1/sessions/{id}/decisions          (body: DecisionRequest)
+//	GET    /v1/plan?budget=N
+//	GET    /v1/datasets/{id}/plan?budget=N
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -73,7 +75,28 @@ func (s *Service) Handler() http.Handler {
 		respond(w, st, err)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/decisions", s.handleDecision)
+	mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/datasets/{id}/plan", s.handlePlan)
 	return mux
+}
+
+// handlePlan serves the budget planner: with a path id it plans one
+// dataset, without it plans across every live session. budget is
+// required and must be a positive integer.
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("budget")
+	budget, err := strconv.Atoi(v)
+	if err != nil || budget <= 0 {
+		writeError(w, fmt.Errorf("budget must be a positive integer, got %q", v))
+		return
+	}
+	if id := r.PathValue("id"); id != "" {
+		plan, err := s.PlanDataset(id, budget)
+		respond(w, plan, err)
+		return
+	}
+	plan, err := s.Plan(budget)
+	respond(w, plan, err)
 }
 
 func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {

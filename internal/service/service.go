@@ -911,14 +911,22 @@ func (s *Service) PendingGroups(id string, limit int, wait <-chan struct{}) (Gro
 	if limit > 0 && limit < n {
 		n = limit
 	}
+	if cs.sess != nil {
+		page.ApproveRate = cs.sess.ApproveRate()
+	}
 	page.Groups = make([]goldrec.GroupState, 0, n)
 	for _, g := range cs.pending[:n] {
+		// Buffered groups are undecided by invariant, so their gain is
+		// sites × the page's approve rate.
+		sites := g.RemainingSites()
 		page.Groups = append(page.Groups, goldrec.GroupState{
 			ID:        g.ID,
 			Program:   g.Program,
 			Structure: g.Structure,
 			Pairs:     append([]goldrec.Replacement(nil), g.Pairs...),
 			Decision:  g.Decision(),
+			Sites:     sites,
+			Gain:      float64(sites) * page.ApproveRate,
 		})
 	}
 	return page, nil

@@ -263,7 +263,8 @@ func TestConcurrentColumns(t *testing.T) {
 		}(i, col)
 	}
 	// Concurrent reader: golden export must serialize against applies
-	// without torn reads.
+	// without torn reads, and budget planning must read pending buffers
+	// mid-review without disturbing either column.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -275,6 +276,15 @@ func TestConcurrentColumns(t *testing.T) {
 			}
 			if len(golden.Records) != 2 {
 				errs <- fmt.Errorf("golden mid-review: %d records", len(golden.Records))
+				return
+			}
+			var plan BudgetPlan
+			if status := doJSON(t, "GET", ts.URL+"/v1/plan?budget=3", nil, &plan); status != http.StatusOK {
+				errs <- fmt.Errorf("plan mid-review: status %d", status)
+				return
+			}
+			if plan.Allocated > 3 || plan.Allocated > plan.Pending {
+				errs <- fmt.Errorf("plan mid-review: allocated %d of %d pending", plan.Allocated, plan.Pending)
 				return
 			}
 			time.Sleep(10 * time.Millisecond)

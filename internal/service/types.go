@@ -50,13 +50,18 @@ type SessionInfo struct {
 	Stats     goldrec.SessionStats `json:"stats"`
 }
 
-// GroupPage is one page of undecided groups.
+// GroupPage is one page of undecided groups. Each group carries its
+// remaining sites and expected gain (goldrec.GroupState), so a client
+// spending a budget by hand sees the same numbers the planner ranks by.
 type GroupPage struct {
 	Status string `json:"status"`
 	// Pending counts all buffered undecided groups, not just the ones
 	// on this page.
-	Pending int                  `json:"pending"`
-	Groups  []goldrec.GroupState `json:"groups"`
+	Pending int `json:"pending"`
+	// ApproveRate is the session's empirical approve-rate prior behind
+	// the page's gain annotations (0.5 until decisions accumulate).
+	ApproveRate float64              `json:"approve_rate"`
+	Groups      []goldrec.GroupState `json:"groups"`
 }
 
 // DecisionRequest is the body of POST /v1/sessions/{id}/decisions.

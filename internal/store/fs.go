@@ -102,6 +102,17 @@ func checkID(id string) error {
 	return nil
 }
 
+// checkLookupID is checkID for read paths keyed by caller-supplied ids
+// (LoadDataset, FindSession): an id the store could never contain is a
+// miss, not an internal failure, so the error wraps ErrNotExist and the
+// service maps it to 404 instead of 500.
+func checkLookupID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("store: invalid id %q: %w", id, ErrNotExist)
+	}
+	return nil
+}
+
 func (s *FS) datasetDir(dsID string) string {
 	return filepath.Join(s.root, "datasets", dsID)
 }
@@ -258,7 +269,7 @@ func (s *FS) PutDataset(meta DatasetMeta, ds *table.Dataset) error {
 
 // LoadDataset returns the meta and the latest snapshot.
 func (s *FS) LoadDataset(id string) (DatasetMeta, *table.Dataset, error) {
-	if err := checkID(id); err != nil {
+	if err := checkLookupID(id); err != nil {
 		return DatasetMeta{}, nil, err
 	}
 	dir := s.datasetDir(id)
@@ -419,7 +430,7 @@ func (s *FS) ListSessions(datasetID string) ([]SessionMeta, error) {
 // the number of persisted datasets; goldrecd only calls it on a registry
 // miss (a passivated session's first touch).
 func (s *FS) FindSession(sessionID string) (SessionMeta, error) {
-	if err := checkID(sessionID); err != nil {
+	if err := checkLookupID(sessionID); err != nil {
 		return SessionMeta{}, err
 	}
 	datasets, err := s.ListDatasets()

@@ -86,6 +86,15 @@ func TestFSRejectsBadIDs(t *testing.T) {
 		if err := s.AppendWAL("ds_0a", id, WALRecord{Op: OpIssue}); err == nil {
 			t.Errorf("AppendWAL accepted session id %q", id)
 		}
+		// On the lookup paths a malformed id is a miss, not an internal
+		// failure: the service maps ErrNotExist to 404, anything else to
+		// a 500 the client would read as "retry me".
+		if _, _, err := s.LoadDataset(id); !errors.Is(err, ErrNotExist) {
+			t.Errorf("LoadDataset(%q) = %v, want ErrNotExist", id, err)
+		}
+		if _, err := s.FindSession(id); !errors.Is(err, ErrNotExist) {
+			t.Errorf("FindSession(%q) = %v, want ErrNotExist", id, err)
+		}
 	}
 }
 

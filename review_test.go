@@ -3,6 +3,8 @@ package goldrec
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -90,16 +92,159 @@ func TestReviewErrors(t *testing.T) {
 	cons, _ := New(ds)
 	sess, _ := cons.Column("Name")
 	var buf bytes.Buffer
-	if _, err := sess.ExportReview(&buf, 1); err != nil {
+	rf, err := sess.ExportReview(&buf, 1)
+	if err != nil {
 		t.Fatal(err)
 	}
+	tok := fmt.Sprintf("%q", rf.Token)
 	if _, err := sess.ApplyReview(strings.NewReader("not json")); err == nil {
 		t.Error("bad json should fail")
 	}
-	if _, err := sess.ApplyReview(strings.NewReader(`{"groups":[{"id":99,"decision":"approve"}]}`)); err == nil {
+	if _, err := sess.ApplyReview(strings.NewReader(`{"token":` + tok + `,"groups":[{"id":99,"decision":"approve"}]}`)); err == nil {
 		t.Error("out-of-range id should fail")
 	}
-	if _, err := sess.ApplyReview(strings.NewReader(`{"groups":[{"id":0,"decision":"maybe"}]}`)); err == nil {
+	if _, err := sess.ApplyReview(strings.NewReader(`{"token":` + tok + `,"groups":[{"id":0,"decision":"maybe"}]}`)); err == nil {
 		t.Error("unknown decision should fail")
+	}
+	if _, err := sess.ApplyReview(strings.NewReader(`{"groups":[{"id":0,"decision":"approve"}]}`)); err == nil {
+		t.Error("missing token should fail")
+	}
+}
+
+// TestApplyReviewSubsetFile is the regression test for the out-of-range
+// panic: a review file that decides only a subset of the exported
+// groups (here just the highest id) used to index a slice sized by the
+// file's group count with the exported id.
+func TestApplyReviewSubsetFile(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	var buf bytes.Buffer
+	rf, err := sess.ExportReview(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.Groups) < 2 {
+		t.Fatalf("need at least 2 exported groups, have %d", len(rf.Groups))
+	}
+	last := len(rf.Groups) - 1
+	subset := fmt.Sprintf(`{"token":%q,"groups":[{"id":%d,"decision":"reject"}]}`, rf.Token, last)
+	stats, err := sess.ApplyReview(strings.NewReader(subset))
+	if err != nil {
+		t.Fatalf("subset file: %v", err)
+	}
+	if len(stats) != len(rf.Groups) {
+		t.Fatalf("stats span %d groups, want the full export (%d)", len(stats), len(rf.Groups))
+	}
+	if g, _ := sess.Group(last); g.Decision() != Rejected {
+		t.Errorf("group %d decision = %v, want Rejected", last, g.Decision())
+	}
+	if g, _ := sess.Group(0); g.Decision() != Pending {
+		t.Errorf("group 0 decision = %v, want untouched Pending", g.Decision())
+	}
+}
+
+// TestApplyReviewDuplicateIDs is the regression test for the
+// double-apply: approve + approve-backward on the same id used to
+// apply the group twice and flip-flop its cells. Duplicate ids now
+// fail validation before anything is applied.
+func TestApplyReviewDuplicateIDs(t *testing.T) {
+	ds, _ := paperTable1()
+	pristine := ds.Clone()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	var buf bytes.Buffer
+	rf, err := sess.ExportReview(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := fmt.Sprintf(`{"token":%q,"groups":[{"id":0,"decision":"approve"},{"id":0,"decision":"approve-backward"}]}`, rf.Token)
+	if _, err := sess.ApplyReview(strings.NewReader(dup)); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("duplicate ids: err = %v, want duplicate-id rejection", err)
+	}
+	if !reflect.DeepEqual(ds.Clusters, pristine.Clusters) {
+		t.Error("rejected file still mutated the dataset")
+	}
+	if st := sess.Stats(); st.GroupsApplied != 0 || st.CellsChanged != 0 {
+		t.Errorf("rejected file moved the counters: %+v", st)
+	}
+}
+
+// TestApplyReviewAlreadyDecided: a group decided through Session.Decide
+// (for example by a connected reviewer) must not be re-applied by a
+// review file, and the conflict fails the whole file atomically.
+func TestApplyReviewAlreadyDecided(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	var buf bytes.Buffer
+	rf, err := sess.ExportReview(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Decide(0, Approved); err != nil {
+		t.Fatal(err)
+	}
+	applied := sess.Stats().GroupsApplied
+	file := fmt.Sprintf(`{"token":%q,"groups":[{"id":0,"decision":"approve-backward"},{"id":1,"decision":"reject"}]}`, rf.Token)
+	if _, err := sess.ApplyReview(strings.NewReader(file)); err == nil || !strings.Contains(err.Error(), "already decided") {
+		t.Fatalf("decided group: err = %v, want already-decided rejection", err)
+	}
+	if g, _ := sess.Group(1); g.Decision() != Pending {
+		t.Errorf("group 1 decision = %v; the invalid file must apply nothing", g.Decision())
+	}
+	if got := sess.Stats().GroupsApplied; got != applied {
+		t.Errorf("GroupsApplied = %d, want unchanged %d", got, applied)
+	}
+}
+
+// TestApplyReviewStaleToken is the regression test for the stale-export
+// hazard: a second ExportReview rebinds the ids, so the first file must
+// be refused instead of silently deciding the wrong groups.
+func TestApplyReviewStaleToken(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+	var first, second bytes.Buffer
+	rf1, err := sess.ExportReview(&first, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf2, err := sess.ExportReview(&second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf1.Token == rf2.Token {
+		t.Fatalf("both exports carry token %q; rebinding is undetectable", rf1.Token)
+	}
+	stale := fmt.Sprintf(`{"token":%q,"groups":[{"id":0,"decision":"approve"}]}`, rf1.Token)
+	if _, err := sess.ApplyReview(strings.NewReader(stale)); err == nil || !strings.Contains(err.Error(), "token") {
+		t.Fatalf("stale file: err = %v, want token rejection", err)
+	}
+	fresh := fmt.Sprintf(`{"token":%q,"groups":[{"id":0,"decision":"reject"}]}`, rf2.Token)
+	if _, err := sess.ApplyReview(strings.NewReader(fresh)); err != nil {
+		t.Fatalf("fresh file: %v", err)
+	}
+}
+
+// TestExportTokenDeterministic: re-deriving the same export in a fresh
+// process (the goldrec CLI's -apply-review flow re-runs ExportReview
+// before applying) must produce the same token, so files survive the
+// process boundary.
+func TestExportTokenDeterministic(t *testing.T) {
+	export := func() *ReviewFile {
+		ds, _ := paperTable1()
+		cons, _ := New(ds)
+		sess, _ := cons.Column("Name")
+		var buf bytes.Buffer
+		rf, err := sess.ExportReview(&buf, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	a, b := export(), export()
+	if a.Token == "" || a.Token != b.Token {
+		t.Fatalf("tokens %q vs %q, want equal and non-empty", a.Token, b.Token)
 	}
 }

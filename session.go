@@ -39,11 +39,21 @@ type Session struct {
 	issued []*Group
 
 	// exported tracks the groups written by ExportReview so that
-	// ApplyReview can address them by id.
-	exported []*Group
+	// ApplyReview can address them by id, and exportToken names that
+	// export: ApplyReview only accepts files carrying the token of the
+	// latest export, so a stale file can never address rebound ids.
+	exported    []*Group
+	exportSeq   int
+	exportToken string
 
 	// exhausted is set once NextGroup has reported no groups remain.
 	exhausted bool
+
+	// decided and approvals accumulate the session's decision history
+	// (first-time decisions only); they drive the empirical approve-rate
+	// prior behind Group.Gain.
+	decided   int
+	approvals int
 
 	stats SessionStats
 }
@@ -88,6 +98,7 @@ type Group struct {
 	// first.
 	Pairs []Replacement
 
+	sess     *Session
 	members  []*replace.Candidate
 	decision Decision
 	applied  ApplyStats
@@ -173,6 +184,54 @@ func (g *Group) TotalSites() int {
 	return n
 }
 
+// RemainingSites sums the members' *current* replacement-set sizes.
+// Unlike TotalSites (a snapshot taken when the group was built), it
+// shrinks as other approved groups rewrite overlapping cells, so it is
+// the honest count of cells a review of this group could still fix.
+func (g *Group) RemainingSites() int {
+	n := 0
+	for _, c := range g.members {
+		n += c.SiteCount()
+	}
+	return n
+}
+
+// Gain estimates the expected number of cells one review of this group
+// would fix: RemainingSites times the session's empirical approve rate
+// (Sun et al., 2019 spend a fixed human budget by expected gain rather
+// than raw group size). Already-decided groups — and groups not backed
+// by a session — gain nothing from another look and return 0.
+func (g *Group) Gain() float64 {
+	if g.sess == nil || g.decision != Pending {
+		return 0
+	}
+	return float64(g.RemainingSites()) * g.sess.ApproveRate()
+}
+
+// ApproveRate is the session's empirical probability that a reviewed
+// group is approved: a Laplace-smoothed ratio of approvals to recorded
+// decisions, so a fresh session starts at the uninformative 0.5 and the
+// prior sharpens as the reviewer's verdicts accumulate.
+func (s *Session) ApproveRate() float64 {
+	return float64(s.approvals+1) / float64(s.decided+2)
+}
+
+// record registers a group's first decision: it stamps the group and
+// feeds the decision-history counters behind ApproveRate. Calls on an
+// already-decided group are no-ops, which is what keeps every counter a
+// count of *first-time* decisions.
+func (s *Session) record(g *Group, d Decision, applied ApplyStats) {
+	if g.decision != Pending || d == Pending {
+		return
+	}
+	g.decision = d
+	g.applied = applied
+	s.decided++
+	if d == Approved || d == ApprovedBackward {
+		s.approvals++
+	}
+}
+
 func newSession(cons *Consolidator, col int) *Session {
 	s := &Session{cons: cons, col: col}
 	s.store = replace.NewStore(cons.ds, col, replace.Options{
@@ -206,6 +265,7 @@ func (s *Session) publicGroup(g *core.Group) *Group {
 		ID:        -1,
 		Program:   g.Program.String(),
 		Structure: strings.ReplaceAll(g.Sig, "\x00", " → "),
+		sess:      s,
 	}
 	for _, m := range g.Members {
 		cand := s.store.Candidate(m.Ext)
@@ -303,7 +363,7 @@ func (s *Session) Decide(id int, d Decision) (ApplyStats, error) {
 	case ApprovedBackward:
 		return s.Apply(g, Backward), nil
 	case Rejected:
-		g.decision = Rejected
+		s.record(g, Rejected, ApplyStats{})
 		return ApplyStats{}, nil
 	}
 	return ApplyStats{}, fmt.Errorf("goldrec: group %d: unknown decision %d", id, int(d))
@@ -346,9 +406,13 @@ type ApplyStats struct {
 
 // Apply performs every member replacement of an approved group in the
 // given direction, updates the replacement sets (Section 7.1), and
-// removes emptied candidates from the grouping engine. On issued groups
-// it also records the decision (Approved or ApprovedBackward) so that
-// ReviewState reflects it.
+// removes emptied candidates from the grouping engine. The first Apply
+// on a group records its decision (Approved or ApprovedBackward) and
+// updates the session counters; a re-apply of an already-decided group
+// still performs the raw replacements but touches no counters, so
+// GroupsApplied and CellsChanged always agree with the first-time
+// decisions ReviewState reports (the public decision paths — Decide,
+// ApplyReview — refuse re-applies outright).
 func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 	var stats ApplyStats
 	for _, cand := range g.members {
@@ -368,15 +432,14 @@ func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 			s.eng.Remove(res.Emptied...)
 		}
 	}
-	s.stats.GroupsApplied++
-	s.stats.CellsChanged += stats.CellsChanged
 	if g.decision == Pending {
+		d := Approved
 		if dir == Backward {
-			g.decision = ApprovedBackward
-		} else {
-			g.decision = Approved
+			d = ApprovedBackward
 		}
-		g.applied = stats
+		s.record(g, d, stats)
+		s.stats.GroupsApplied++
+		s.stats.CellsChanged += stats.CellsChanged
 	}
 	return stats
 }
@@ -391,6 +454,12 @@ type GroupState struct {
 	Structure string        `json:"structure"`
 	Pairs     []Replacement `json:"pairs"`
 	Decision  Decision      `json:"decision"`
+	// Sites is the group's remaining replacement-set size at snapshot
+	// time (see Group.RemainingSites).
+	Sites int `json:"sites"`
+	// Gain is the expected number of cells one review of this group
+	// would fix (see Group.Gain); zero once the group is decided.
+	Gain float64 `json:"gain"`
 	// Applied reports the apply stats for approved groups (zero for
 	// pending and rejected ones).
 	Applied ApplyStats `json:"applied"`
@@ -404,9 +473,12 @@ type ReviewState struct {
 	Dataset string `json:"dataset"`
 	Column  string `json:"column"`
 	// Exhausted is true once the group stream has ended.
-	Exhausted bool         `json:"exhausted"`
-	Stats     SessionStats `json:"stats"`
-	Groups    []GroupState `json:"groups"`
+	Exhausted bool `json:"exhausted"`
+	// ApproveRate is the empirical approve-rate prior the per-group
+	// gains are computed with (see Session.ApproveRate).
+	ApproveRate float64      `json:"approve_rate"`
+	Stats       SessionStats `json:"stats"`
+	Groups      []GroupState `json:"groups"`
 }
 
 // ReviewState snapshots the issued groups and their decisions. The
@@ -414,19 +486,27 @@ type ReviewState struct {
 // session.
 func (s *Session) ReviewState() ReviewState {
 	st := ReviewState{
-		Dataset:   s.cons.ds.Name,
-		Column:    s.cons.ds.Attrs[s.col],
-		Exhausted: s.exhausted,
-		Stats:     s.stats,
-		Groups:    make([]GroupState, len(s.issued)),
+		Dataset:     s.cons.ds.Name,
+		Column:      s.cons.ds.Attrs[s.col],
+		Exhausted:   s.exhausted,
+		ApproveRate: s.ApproveRate(),
+		Stats:       s.stats,
+		Groups:      make([]GroupState, len(s.issued)),
 	}
 	for i, g := range s.issued {
+		sites := g.RemainingSites()
+		gain := 0.0
+		if g.decision == Pending {
+			gain = float64(sites) * st.ApproveRate
+		}
 		st.Groups[i] = GroupState{
 			ID:        g.ID,
 			Program:   g.Program,
 			Structure: g.Structure,
 			Pairs:     append([]Replacement(nil), g.Pairs...),
 			Decision:  g.decision,
+			Sites:     sites,
+			Gain:      gain,
 			Applied:   g.applied,
 		}
 	}
@@ -467,7 +547,7 @@ func (s *Session) RunBudget(budget int, verify func(*Group) (bool, Direction)) i
 		if ok, dir := verify(g); ok {
 			s.Apply(g, dir)
 		} else {
-			g.decision = Rejected
+			s.record(g, Rejected, ApplyStats{})
 		}
 	}
 	return reviewed

@@ -165,6 +165,166 @@ func TestDecideByID(t *testing.T) {
 	}
 }
 
+// TestApplyFirstTimeOnlyStats is the regression test for the stats
+// inflation: re-applying an already-decided group must not move
+// GroupsApplied or CellsChanged again, so SessionStats stays consistent
+// with the first-time decisions ReviewState records.
+func TestApplyFirstTimeOnlyStats(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	g, ok := sess.NextGroup()
+	if !ok {
+		t.Fatal("no groups")
+	}
+	first := sess.Apply(g, Forward)
+	if first.CellsChanged == 0 {
+		t.Fatal("first apply changed nothing")
+	}
+	st := sess.Stats()
+	if st.GroupsApplied != 1 || st.CellsChanged != first.CellsChanged {
+		t.Fatalf("after first apply: %+v", st)
+	}
+
+	// A raw re-apply (forward is idempotent, backward would flip the
+	// cells back) must leave every counter alone.
+	sess.Apply(g, Forward)
+	sess.Apply(g, Backward)
+	sess.Apply(g, Forward)
+	if got := sess.Stats(); got != st {
+		t.Errorf("re-applies moved the counters: %+v, want %+v", got, st)
+	}
+	if g.Decision() != Approved {
+		t.Errorf("decision = %v, want the first-time Approved", g.Decision())
+	}
+
+	// Consistency with ReviewState: GroupsApplied equals the number of
+	// approve-decided groups, CellsChanged the sum of their apply stats.
+	state := sess.ReviewState()
+	approved, cells := 0, 0
+	for _, gs := range state.Groups {
+		if gs.Decision == Approved || gs.Decision == ApprovedBackward {
+			approved++
+			cells += gs.Applied.CellsChanged
+		}
+	}
+	if st.GroupsApplied != approved || st.CellsChanged != cells {
+		t.Errorf("stats %+v inconsistent with review state (%d approved, %d cells)",
+			st, approved, cells)
+	}
+}
+
+// TestApplyBackwardNoMirrors: a backward apply whose members have no
+// mirror candidates changes nothing; it still records the decision
+// (once), and never inflates the counters on re-apply.
+func TestApplyBackwardNoMirrors(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	// Exhaust the stream to find a group, then strip its mirrors by
+	// applying backward twice: the second call must be a no-op.
+	g, ok := sess.NextGroup()
+	if !ok {
+		t.Fatal("no groups")
+	}
+	sess.Apply(g, Backward)
+	st := sess.Stats()
+	if st.GroupsApplied != 1 {
+		t.Fatalf("GroupsApplied = %d after one backward apply, want 1", st.GroupsApplied)
+	}
+	for i := 0; i < 3; i++ {
+		sess.Apply(g, Backward)
+	}
+	if got := sess.Stats(); got != st {
+		t.Errorf("zero-effect re-applies moved the counters: %+v, want %+v", got, st)
+	}
+}
+
+// TestApproveRateAndGain: the empirical prior starts uninformative at
+// 0.5, tracks the session's decision history, and Gain prices pending
+// groups as remaining sites × the prior (decided groups gain zero).
+func TestApproveRateAndGain(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Name")
+
+	if r := sess.ApproveRate(); r != 0.5 {
+		t.Fatalf("fresh approve rate = %v, want 0.5", r)
+	}
+	g0, _ := sess.NextGroup()
+	g1, _ := sess.NextGroup()
+	if want := float64(g0.RemainingSites()) * 0.5; g0.Gain() != want {
+		t.Errorf("gain = %v, want sites×rate = %v", g0.Gain(), want)
+	}
+
+	if _, err := sess.Decide(g0.ID, Approved); err != nil {
+		t.Fatal(err)
+	}
+	// One approval out of one decision: Laplace gives (1+1)/(1+2).
+	if r, want := sess.ApproveRate(), 2.0/3.0; r != want {
+		t.Errorf("approve rate after 1 approval = %v, want %v", r, want)
+	}
+	if g0.Gain() != 0 {
+		t.Errorf("decided group gain = %v, want 0", g0.Gain())
+	}
+	if want := float64(g1.RemainingSites()) * 2.0 / 3.0; g1.Gain() != want {
+		t.Errorf("pending gain = %v, want %v", g1.Gain(), want)
+	}
+
+	if _, err := sess.Decide(g1.ID, Rejected); err != nil {
+		t.Fatal(err)
+	}
+	if r, want := sess.ApproveRate(), 2.0/4.0; r != want {
+		t.Errorf("approve rate after 1/2 = %v, want %v", r, want)
+	}
+
+	// ReviewState carries the prior and the per-group gain fields.
+	state := sess.ReviewState()
+	if state.ApproveRate != sess.ApproveRate() {
+		t.Errorf("state approve rate = %v, want %v", state.ApproveRate, sess.ApproveRate())
+	}
+	for _, gs := range state.Groups {
+		if gs.Decision != Pending && gs.Gain != 0 {
+			t.Errorf("decided group %d has gain %v", gs.ID, gs.Gain)
+		}
+	}
+}
+
+// TestGainShrinksWithRemainingSites: gain prices what a review could
+// still fix, so applying an overlapping group deflates (never inflates)
+// another pending group's remaining sites.
+func TestGainShrinksWithRemainingSites(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, _ := New(ds)
+	sess, _ := cons.Column("Address")
+
+	var groups []*Group
+	for {
+		g, ok := sess.NextGroup()
+		if !ok {
+			break
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) < 2 {
+		t.Fatalf("need 2 groups, have %d", len(groups))
+	}
+	for _, g := range groups {
+		if g.RemainingSites() != g.TotalSites() {
+			t.Errorf("group %d remaining %d != snapshot %d before any apply",
+				g.ID, g.RemainingSites(), g.TotalSites())
+		}
+	}
+	sess.Apply(groups[0], Forward)
+	for _, g := range groups[1:] {
+		if g.RemainingSites() > g.TotalSites() {
+			t.Errorf("group %d remaining sites grew: %d > %d", g.ID, g.RemainingSites(), g.TotalSites())
+		}
+	}
+}
+
 // TestPublicGroupOrdering: members stay aligned with their pairs after
 // the largest-first sort.
 func TestPublicGroupOrdering(t *testing.T) {
