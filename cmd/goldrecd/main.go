@@ -12,6 +12,13 @@
 // and restored on boot, so restarts and TTL evictions never discard
 // review work. Without it, state is memory-only and eviction deletes.
 //
+// With -auth (and -admin-key-file holding the bootstrap admin key),
+// every request must present an API key, datasets and sessions are
+// isolated per tenant, and the /v1/tenants admin API manages tenants,
+// their keys and their quotas. Tenants persist in -data-dir alongside
+// the datasets. API keys never appear in the request log: credential
+// headers are not logged and the api_key query parameter is redacted.
+//
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting.
 package main
@@ -25,13 +32,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/goldrec/goldrec/internal/service"
 	"github.com/goldrec/goldrec/internal/store"
+	"github.com/goldrec/goldrec/internal/tenant"
 )
 
 // errUsage marks errors the FlagSet has already reported to the user;
@@ -58,14 +68,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	fs := flag.NewFlagSet("goldrecd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		ttl         = fs.Duration("ttl", 30*time.Minute, "evict datasets and sessions idle longer than this (0 = never)")
-		maxSessions = fs.Int("max-sessions", 0, "maximum live column sessions across all datasets (0 = unlimited)")
-		prefetch    = fs.Int("prefetch", 0, "groups each session keeps buffered ahead of the reviewer (0 = default)")
-		dataDir     = fs.String("data-dir", "", "persist datasets and decision logs here and recover them on boot (empty = memory only)")
-		maxUpload   = fs.Int64("max-upload-bytes", 0, "maximum dataset upload body size in bytes (0 = unlimited)")
-		noSync      = fs.Bool("no-sync", false, "skip fsync on decision-log appends (faster; a host crash may lose the latest decisions)")
-		shards      = fs.Int("shards", 0, "registry lock shards; datasets and sessions on distinct shards never contend (0 = GOMAXPROCS)")
+		addr         = fs.String("addr", ":8080", "listen address")
+		ttl          = fs.Duration("ttl", 30*time.Minute, "evict datasets and sessions idle longer than this (0 = never)")
+		maxSessions  = fs.Int("max-sessions", 0, "maximum live column sessions across all datasets (0 = unlimited)")
+		prefetch     = fs.Int("prefetch", 0, "groups each session keeps buffered ahead of the reviewer (0 = default)")
+		dataDir      = fs.String("data-dir", "", "persist datasets and decision logs here and recover them on boot (empty = memory only)")
+		maxUpload    = fs.Int64("max-upload-bytes", 0, "maximum dataset upload body size in bytes (0 = unlimited)")
+		noSync       = fs.Bool("no-sync", false, "skip fsync on decision-log appends (faster; a host crash may lose the latest decisions)")
+		shards       = fs.Int("shards", 0, "registry lock shards; datasets and sessions on distinct shards never contend (0 = GOMAXPROCS)")
+		auth         = fs.Bool("auth", false, "require API-key authentication and enforce per-tenant isolation, quotas and rate limits (needs -admin-key-file)")
+		adminKeyFile = fs.String("admin-key-file", "", "file holding the bootstrap admin API key for the /v1/tenants admin API (required with -auth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -77,9 +89,43 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		fs.Usage()
 		return fmt.Errorf("%w: unexpected arguments: %v", errUsage, fs.Args())
 	}
-	if *shards < 0 {
+	// Reject nonsense values up front with usage errors instead of
+	// letting them alias a default deep inside the service (a negative
+	// -ttl used to silently mean "never evict").
+	switch {
+	case *shards < 0:
 		fs.Usage()
 		return fmt.Errorf("%w: -shards must be >= 0", errUsage)
+	case *ttl < 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -ttl must be >= 0 (0 = never evict)", errUsage)
+	case *maxSessions < 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -max-sessions must be >= 0 (0 = unlimited)", errUsage)
+	case *maxUpload < 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -max-upload-bytes must be >= 0 (0 = unlimited)", errUsage)
+	case *prefetch < 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -prefetch must be >= 0 (0 = default)", errUsage)
+	case *auth && *adminKeyFile == "":
+		fs.Usage()
+		return fmt.Errorf("%w: -auth requires -admin-key-file", errUsage)
+	case !*auth && *adminKeyFile != "":
+		fs.Usage()
+		return fmt.Errorf("%w: -admin-key-file requires -auth", errUsage)
+	}
+
+	adminKey := ""
+	if *auth {
+		raw, err := os.ReadFile(*adminKeyFile)
+		if err != nil {
+			return fmt.Errorf("reading -admin-key-file: %w", err)
+		}
+		adminKey = strings.TrimSpace(string(raw))
+		if len(adminKey) < 16 {
+			return fmt.Errorf("-admin-key-file %q: admin key must be at least 16 characters", *adminKeyFile)
+		}
 	}
 
 	logger := log.New(stderr, "goldrecd: ", log.LstdFlags)
@@ -97,6 +143,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		st = fsStore
 	}
 
+	var tenants *tenant.Registry
+	if *auth {
+		// The registry shares the service's store, so tenants recover
+		// from the same -data-dir as the datasets they own (and are
+		// memory-only without one, like everything else).
+		var err error
+		tenants, err = tenant.Open(st, nil)
+		if err != nil {
+			return fmt.Errorf("recovering tenants: %w", err)
+		}
+		logger.Printf("auth enabled: %d tenant(s) recovered", len(tenants.List()))
+	}
+
 	svcTTL := *ttl
 	if svcTTL == 0 {
 		svcTTL = -1 // Options treats 0 as "use default"; negative disables.
@@ -108,6 +167,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Store:          st,
 		MaxUploadBytes: *maxUpload,
 		Shards:         *shards,
+		Tenants:        tenants,
+		AdminKey:       adminKey,
 		Logf:           logger.Printf,
 	})
 	defer svc.Close()
@@ -133,7 +194,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q shards=%d)", ln.Addr(), *ttl, *maxSessions, *dataDir, svc.Shards())
+	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q shards=%d auth=%v)", ln.Addr(), *ttl, *maxSessions, *dataDir, svc.Shards(), *auth)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -152,15 +213,42 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	return nil
 }
 
-// logRequests logs one line per request: method, path, status, size,
-// duration.
+// logRequests logs one line per request: method, redacted request URI,
+// status, size, duration. Credentials never reach the log: the
+// Authorization and X-API-Key headers are simply not logged, and the
+// api_key query parameter (the header-less auth fallback) is masked by
+// redactURI.
 func logRequests(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		logger.Printf("%s %s %d %dB %v", r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(start).Round(time.Millisecond))
+		logger.Printf("%s %s %d %dB %v", r.Method, redactURI(r.URL), rec.status, rec.bytes, time.Since(start).Round(time.Millisecond))
 	})
+}
+
+// redactedParams are query parameters whose values are credentials.
+// ("key" is NOT one: it names the upload's key column.)
+var redactedParams = []string{"api_key", "access_token", "token"}
+
+// redactURI renders a request URL for logging with credential-bearing
+// query values masked.
+func redactURI(u *url.URL) string {
+	if u.RawQuery == "" {
+		return u.Path
+	}
+	q := u.Query()
+	changed := false
+	for _, p := range redactedParams {
+		if _, ok := q[p]; ok {
+			q.Set(p, "REDACTED")
+			changed = true
+		}
+	}
+	if !changed {
+		return u.Path + "?" + u.RawQuery
+	}
+	return u.Path + "?" + q.Encode()
 }
 
 type statusRecorder struct {

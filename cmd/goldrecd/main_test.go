@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,8 +26,64 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(ctx, []string{"-h"}, io.Discard, nil); !errors.Is(err, flag.ErrHelp) {
 		t.Errorf("-h: %v, want flag.ErrHelp", err)
 	}
-	if err := run(ctx, []string{"-shards", "-3"}, io.Discard, nil); !errors.Is(err, errUsage) {
-		t.Errorf("negative -shards: %v, want errUsage", err)
+	// Nonsense numeric values are usage errors, not silent aliases for
+	// "unlimited" or "never evict".
+	for _, bad := range [][]string{
+		{"-shards", "-3"},
+		{"-ttl", "-1m"},
+		{"-max-sessions", "-1"},
+		{"-max-upload-bytes", "-5"},
+		{"-prefetch", "-2"},
+		{"-auth"},                        // -auth without -admin-key-file
+		{"-admin-key-file", "/dev/null"}, // -admin-key-file without -auth
+	} {
+		if err := run(ctx, bad, io.Discard, nil); !errors.Is(err, errUsage) {
+			t.Errorf("%v: err = %v, want errUsage", bad, err)
+		}
+	}
+}
+
+// TestAdminKeyFileValidation covers the non-usage admin-key errors:
+// unreadable file and too-short key.
+func TestAdminKeyFileValidation(t *testing.T) {
+	ctx := context.Background()
+	missing := filepath.Join(t.TempDir(), "nope")
+	err := run(ctx, []string{"-auth", "-admin-key-file", missing}, io.Discard, nil)
+	if err == nil || errors.Is(err, errUsage) || !strings.Contains(err.Error(), "admin-key-file") {
+		t.Errorf("missing key file: %v", err)
+	}
+	short := filepath.Join(t.TempDir(), "short")
+	if err := os.WriteFile(short, []byte("tiny\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err = run(ctx, []string{"-auth", "-admin-key-file", short}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "at least 16") {
+		t.Errorf("short admin key: %v", err)
+	}
+}
+
+// TestRedactURI: credential-bearing query parameters never reach the
+// request log; ordinary parameters (including the CSV key column
+// selector, also named "key") are logged untouched.
+func TestRedactURI(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/v1/datasets", "/v1/datasets"},
+		{"/v1/datasets?name=x&key=id", "/v1/datasets?name=x&key=id"},
+		{"/v1/plan?budget=5&api_key=grk_secret123", "/v1/plan?api_key=REDACTED&budget=5"},
+		{"/v1/plan?token=sekrit", "/v1/plan?token=REDACTED"},
+		{"/v1/plan?access_token=sekrit&x=1", "/v1/plan?access_token=REDACTED&x=1"},
+	}
+	for _, c := range cases {
+		u, err := url.Parse(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := redactURI(u); got != c.want {
+			t.Errorf("redactURI(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if strings.Contains(redactURI(u), "secret") || strings.Contains(redactURI(u), "sekrit") {
+			t.Errorf("redactURI(%q) leaks a credential", c.in)
+		}
 	}
 }
 
@@ -148,5 +206,153 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	cancel2()
 	if err := <-done2; err != nil {
 		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// bootAuthed starts the daemon with -auth against dataDir and returns
+// its address plus a cancel-and-wait teardown.
+func bootAuthed(t *testing.T, dataDir, keyFile string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ttl", "0",
+			"-auth", "-admin-key-file", keyFile,
+		}, io.Discard, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	return "", nil
+}
+
+// authedDo performs one request with a bearer key and returns status
+// and body.
+func authedDo(t *testing.T, method, url, key, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// TestRunAuthMode boots the daemon with -auth: unauthenticated requests
+// bounce, the admin key manages tenants, a tenant key drives a scoped
+// upload, and a restart recovers both the tenant and its dataset's
+// ownership.
+func TestRunAuthMode(t *testing.T) {
+	dataDir := t.TempDir()
+	const adminKey = "test-admin-key-0123456789abcdef"
+	keyFile := filepath.Join(t.TempDir(), "admin.key")
+	if err := os.WriteFile(keyFile, []byte(adminKey+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop := bootAuthed(t, dataDir, keyFile)
+	base := "http://" + addr
+
+	// Liveness stays open; everything else requires a key.
+	if status, _ := authedDo(t, "GET", base+"/healthz", "", ""); status != http.StatusOK {
+		t.Fatalf("healthz without key: status %d", status)
+	}
+	if status, _ := authedDo(t, "GET", base+"/v1/datasets", "", ""); status != http.StatusUnauthorized {
+		t.Fatalf("datasets without key: status %d, want 401", status)
+	}
+
+	// Admin creates a tenant and gets its key exactly once.
+	status, body := authedDo(t, "POST", base+"/v1/tenants", adminKey, `{"name":"acme"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create tenant: status %d, body %s", status, body)
+	}
+	var created struct {
+		Tenant struct {
+			ID string `json:"id"`
+		} `json:"tenant"`
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("decoding tenant response %s: %v", body, err)
+	}
+	if created.Key == "" || created.Tenant.ID == "" {
+		t.Fatalf("tenant response missing id or key: %s", body)
+	}
+
+	// The tenant uploads through its own key.
+	csv := "key,Name\nC1,Mary Lee\nC1,M. Lee\n"
+	req, _ := http.NewRequest("POST", base+"/v1/datasets?name=t&key=key", strings.NewReader(csv))
+	req.Header.Set("Authorization", "Bearer "+created.Key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds struct {
+		ID string `json:"id"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("tenant upload: status %d, body %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tenant key cannot reach the admin API.
+	if status, _ := authedDo(t, "GET", base+"/v1/tenants", created.Key, ""); status != http.StatusForbidden {
+		t.Fatalf("tenant key on admin API: status %d, want 403", status)
+	}
+	stop()
+
+	// Restart: the tenant, its key and its dataset ownership all
+	// survive.
+	addr, stop = bootAuthed(t, dataDir, keyFile)
+	defer stop()
+	base = "http://" + addr
+	status, body = authedDo(t, "GET", base+"/v1/datasets/"+ds.ID, created.Key, "")
+	if status != http.StatusOK {
+		t.Fatalf("tenant dataset after restart: status %d, body %s", status, body)
+	}
+	status, body = authedDo(t, "GET", base+"/v1/tenants/"+created.Tenant.ID, adminKey, "")
+	if status != http.StatusOK || !strings.Contains(string(body), `"acme"`) {
+		t.Fatalf("tenant after restart: status %d, body %s", status, body)
+	}
+	// A fresh tenant created after restart cannot see the first
+	// tenant's dataset.
+	status, body = authedDo(t, "POST", base+"/v1/tenants", adminKey, `{"name":"rival"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create rival tenant: status %d, body %s", status, body)
+	}
+	var rival struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &rival); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := authedDo(t, "GET", base+"/v1/datasets/"+ds.ID, rival.Key, ""); status != http.StatusNotFound {
+		t.Fatalf("rival sees foreign dataset: status %d, want 404", status)
 	}
 }

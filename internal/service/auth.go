@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/goldrec/goldrec/internal/tenant"
+)
+
+// principal is the authenticated identity of one request. The zero
+// value (open mode, or the middleware skipping auth) is unscoped and
+// not admin.
+type principal struct {
+	// tenant is the authenticated tenant's id; "" for the admin key and
+	// in open mode.
+	tenant string
+	// admin marks the bootstrap admin key: unscoped data access plus the
+	// /v1/tenants admin API.
+	admin bool
+}
+
+type principalCtxKey struct{}
+
+// principalFrom returns the request's authenticated principal (zero in
+// open mode).
+func principalFrom(r *http.Request) principal {
+	p, _ := r.Context().Value(principalCtxKey{}).(principal)
+	return p
+}
+
+// scope returns the service view the request's principal is entitled
+// to: the tenant's slice, or everything for admin/open mode.
+func (s *Service) scope(r *http.Request) Scope {
+	return s.As(principalFrom(r).tenant)
+}
+
+// requestKey extracts the API key from a request: "Authorization:
+// Bearer <key>" first, then the X-API-Key header, then the api_key
+// query parameter (for clients that cannot set headers — the daemon's
+// request logger redacts it).
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+		return ""
+	}
+	if h := r.Header.Get("X-API-Key"); h != "" {
+		return h
+	}
+	return r.URL.Query().Get("api_key")
+}
+
+// authenticate resolves the request's API key to a principal. The
+// admin comparison and the registry's key lookups are constant-time.
+func (s *Service) authenticate(r *http.Request) (principal, error) {
+	key := requestKey(r)
+	if key == "" {
+		return principal{}, fmt.Errorf("%w: missing API key", ErrUnauthorized)
+	}
+	if s.hasAdmin {
+		sum := sha256.Sum256([]byte(key))
+		if subtle.ConstantTimeCompare(sum[:], s.adminHash[:]) == 1 {
+			return principal{admin: true}, nil
+		}
+	}
+	if info, ok := s.opts.Tenants.Authenticate(key); ok {
+		return principal{tenant: info.ID}, nil
+	}
+	return principal{}, fmt.Errorf("%w: invalid API key", ErrUnauthorized)
+}
+
+// instrument is the outermost HTTP layer: it authenticates the request
+// when multi-tenancy is on (the liveness probe stays open) and
+// attributes the request to its tenant in the metrics. Unauthenticated
+// rejections never reach the mux.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var p principal
+		if s.opts.Tenants != nil && r.URL.Path != "/healthz" {
+			var err error
+			p, err = s.authenticate(r)
+			if err != nil {
+				s.metrics.counters("").requests.Add(1)
+				writeError(w, err)
+				return
+			}
+			r = r.WithContext(context.WithValue(r.Context(), principalCtxKey{}, p))
+		}
+		s.metrics.counters(p.tenant).requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requireAdmin guards the admin-only endpoints. Open mode has no
+// tenants to administer, so the question only arises with auth on.
+func (s *Service) requireAdmin(r *http.Request) error {
+	if s.opts.Tenants == nil {
+		return nil
+	}
+	if !principalFrom(r).admin {
+		return fmt.Errorf("%w: admin key required", ErrForbidden)
+	}
+	return nil
+}
+
+// CreateTenantRequest is the body of POST /v1/tenants.
+type CreateTenantRequest struct {
+	Name   string        `json:"name"`
+	Quotas tenant.Quotas `json:"quotas"`
+}
+
+// RotateKeyRequest is the body of POST /v1/tenants/{id}/keys. With
+// RevokeExisting the minted key replaces every previous one; without
+// it, it is added alongside them.
+type RotateKeyRequest struct {
+	RevokeExisting bool `json:"revoke_existing"`
+}
+
+// TenantKeyResponse returns a tenant together with a freshly minted
+// API key. The key is plaintext here and nowhere else — the registry
+// keeps only its hash.
+type TenantKeyResponse struct {
+	Tenant tenant.Info `json:"tenant"`
+	Key    string      `json:"key"`
+}
+
+// registerTenantAPI mounts the admin tenant-management endpoints:
+//
+//	POST   /v1/tenants            create a tenant, mint its first key
+//	GET    /v1/tenants            list tenants
+//	GET    /v1/tenants/{id}       one tenant
+//	DELETE /v1/tenants/{id}       delete (keys stop authenticating;
+//	                              datasets remain, admin-visible)
+//	POST   /v1/tenants/{id}/keys  mint a key, optionally revoking the rest
+//	PUT    /v1/tenants/{id}/quotas replace the tenant's quotas
+//
+// Only mounted when multi-tenancy is enabled; every handler requires
+// the admin key.
+func (s *Service) registerTenantAPI(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/tenants", s.adminOnly(s.handleCreateTenant))
+	mux.HandleFunc("GET /v1/tenants", s.adminOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": s.opts.Tenants.List()})
+	}))
+	mux.HandleFunc("GET /v1/tenants/{id}", s.adminOnly(func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.opts.Tenants.Get(r.PathValue("id"))
+		respond(w, info, mapTenantErr(err))
+	}))
+	mux.HandleFunc("DELETE /v1/tenants/{id}", s.adminOnly(func(w http.ResponseWriter, r *http.Request) {
+		respondNoContent(w, mapTenantErr(s.opts.Tenants.Delete(r.PathValue("id"))))
+	}))
+	mux.HandleFunc("POST /v1/tenants/{id}/keys", s.adminOnly(s.handleRotateKey))
+	mux.HandleFunc("PUT /v1/tenants/{id}/quotas", s.adminOnly(s.handleSetQuotas))
+}
+
+// adminOnly wraps a handler with the admin gate.
+func (s *Service) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.requireAdmin(r); err != nil {
+			writeError(w, err)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// mapTenantErr translates registry sentinels into service ones so the
+// HTTP error mapper needs no tenant-package knowledge.
+func mapTenantErr(err error) error {
+	if errors.Is(err, tenant.ErrNotFound) {
+		return fmt.Errorf("%v: %w", err, ErrNotFound)
+	}
+	return err
+}
+
+func (s *Service) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	info, key, err := s.opts.Tenants.Create(req.Name, req.Quotas)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.opts.Logf("tenant %s: created (%q)", info.ID, info.Name)
+	writeJSON(w, http.StatusCreated, TenantKeyResponse{Tenant: info, Key: key})
+}
+
+func (s *Service) handleRotateKey(w http.ResponseWriter, r *http.Request) {
+	var req RotateKeyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	id := r.PathValue("id")
+	info, key, err := s.opts.Tenants.Rotate(id, req.RevokeExisting)
+	if err != nil {
+		writeError(w, mapTenantErr(err))
+		return
+	}
+	s.opts.Logf("tenant %s: key minted (revoke_existing=%v, %d active key(s))",
+		id, req.RevokeExisting, len(info.KeyIDs))
+	writeJSON(w, http.StatusCreated, TenantKeyResponse{Tenant: info, Key: key})
+}
+
+func (s *Service) handleSetQuotas(w http.ResponseWriter, r *http.Request) {
+	var q tenant.Quotas
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	info, err := s.opts.Tenants.SetQuotas(r.PathValue("id"), q)
+	if err != nil {
+		writeError(w, mapTenantErr(err))
+		return
+	}
+	respond(w, info, nil)
+}

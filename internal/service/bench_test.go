@@ -3,6 +3,8 @@ package service
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/store"
+	"github.com/goldrec/goldrec/internal/tenant"
 )
 
 // mustOpenFS opens a filesystem store or fails the benchmark.
@@ -448,6 +451,165 @@ func BenchmarkPlan(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					plan, err := svc.Plan(budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if plan.Allocated != budget {
+						b.Fatalf("allocated %d, want %d", plan.Allocated, budget)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAuthMiddleware prices the per-request cost of the auth
+// layer on a cheap, hot endpoint (dataset info: two registry reads plus
+// a small JSON encode). The off/on delta is what tenancy adds to every
+// request — one SHA-256 of the presented key, a constant-time digest
+// scan, and a context value — and the CI gate holds it to the same 25%
+// band as the other hot paths. Sub-benchmarks: auth off, the admin key
+// (digest compare only), and a tenant key (registry scan + ownership
+// filter on the dataset lookup).
+func BenchmarkAuthMiddleware(b *testing.B) {
+	run := func(b *testing.B, svc *Service, key, dsID string) {
+		defer raiseProcs(benchProcs)()
+		h := svc.Handler()
+		path := "/v1/datasets/" + dsID
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest("GET", path, nil)
+				if key != "" {
+					req.Header.Set("Authorization", "Bearer "+key)
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+				}
+			}
+		})
+	}
+
+	b.Run("off", func(b *testing.B) {
+		svc := New(Options{})
+		defer svc.Close()
+		ds, err := svc.CreateDataset("bench", "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, svc, "", ds.ID)
+	})
+	const adminKey = "bench-admin-key-0123456789abcdef"
+	b.Run("admin", func(b *testing.B) {
+		reg, err := tenant.Open(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := New(Options{Tenants: reg, AdminKey: adminKey})
+		defer svc.Close()
+		ds, err := svc.CreateDataset("bench", "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, svc, adminKey, ds.ID)
+	})
+	b.Run("tenant", func(b *testing.B) {
+		reg, err := tenant.Open(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info, key, err := reg.Create("bench", tenant.Quotas{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := New(Options{Tenants: reg, AdminKey: adminKey})
+		defer svc.Close()
+		ds, err := svc.As(info.ID).CreateDataset("bench", "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, svc, key, ds.ID)
+	})
+}
+
+// BenchmarkTenantScopedPlan is BenchmarkPlan under multi-tenancy: 4
+// tenants each owning 2 mid-review datasets (both columns, all groups
+// pending), planning as one tenant. The scoped collection walks every
+// shard but filters by owner during the walk, so the cost scales with
+// the tenant's own sessions, not the whole fleet's — and stays
+// contention-free across shard counts, which is what the CI gate
+// checks.
+func BenchmarkTenantScopedPlan(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer raiseProcs(benchProcs)()
+			reg, err := tenant.Open(nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc := New(Options{Shards: shards, Prefetch: 1 << 20, Tenants: reg})
+			defer svc.Close()
+			const tenants = 4
+			var owners []string
+			var sessions []string
+			for i := 0; i < tenants; i++ {
+				info, _, err := reg.Create(fmt.Sprintf("bench-%d", i), tenant.Quotas{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				owners = append(owners, info.ID)
+				for j := 0; j < 2; j++ {
+					ds, err := svc.As(info.ID).CreateDataset(fmt.Sprintf("t%d-ds%d", i, j), "key", "", strings.NewReader(paperCSV))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, col := range []string{"Name", "Address"} {
+						sess, err := svc.As(info.ID).OpenSession(ds.ID, col)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sessions = append(sessions, sess.ID)
+					}
+				}
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for _, id := range sessions {
+				for {
+					st, err := svc.ReviewState(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Exhausted {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("session %s never exhausted", id)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			victim := svc.As(owners[0])
+			probe, err := victim.Plan(1 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probe.Pending == 0 {
+				b.Fatal("no pending groups to plan over")
+			}
+			global, err := svc.Plan(1 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if global.Pending <= probe.Pending {
+				b.Fatal("scoping did not reduce the candidate pool")
+			}
+			budget := probe.Pending / 2
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					plan, err := victim.Plan(budget)
 					if err != nil {
 						b.Fatal(err)
 					}

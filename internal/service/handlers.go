@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,6 +22,7 @@ const maxWait = 25 * time.Second
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz
+//	GET    /v1/metrics
 //	POST   /v1/datasets?name=N&key=K&source=S   (body: clustered CSV)
 //	GET    /v1/datasets
 //	GET    /v1/datasets/{id}
@@ -36,21 +38,28 @@ const maxWait = 25 * time.Second
 //	POST   /v1/sessions/{id}/decisions          (body: DecisionRequest)
 //	GET    /v1/plan?budget=N
 //	GET    /v1/datasets/{id}/plan?budget=N
+//
+// With multi-tenancy enabled (Options.Tenants) the /v1/tenants admin
+// API is mounted too (see registerTenantAPI), every /v1 request must
+// authenticate, and each data endpoint serves the caller's scope: a
+// tenant key sees only that tenant's datasets and sessions, the admin
+// key and open mode see everything.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.ListDatasets()})
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.scope(r).ListDatasets()})
 	})
 	mux.HandleFunc("GET /v1/datasets/{id}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := s.GetDataset(r.PathValue("id"))
+		info, err := s.scope(r).GetDataset(r.PathValue("id"))
 		respond(w, info, err)
 	})
 	mux.HandleFunc("DELETE /v1/datasets/{id}", func(w http.ResponseWriter, r *http.Request) {
-		respondNoContent(w, s.DeleteDataset(r.PathValue("id")))
+		respondNoContent(w, s.scope(r).DeleteDataset(r.PathValue("id")))
 	})
 	mux.HandleFunc("GET /v1/datasets/{id}/records", func(w http.ResponseWriter, r *http.Request) {
 		s.handleExport(w, r, false)
@@ -60,24 +69,27 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/datasets/{id}/sessions", s.handleOpenSession)
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.ListSessions()})
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.scope(r).ListSessions()})
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := s.GetSession(r.PathValue("id"))
+		info, err := s.scope(r).GetSession(r.PathValue("id"))
 		respond(w, info, err)
 	})
 	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		respondNoContent(w, s.DeleteSession(r.PathValue("id")))
+		respondNoContent(w, s.scope(r).DeleteSession(r.PathValue("id")))
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}/groups", s.handleGroups)
 	mux.HandleFunc("GET /v1/sessions/{id}/state", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.ReviewState(r.PathValue("id"))
+		st, err := s.scope(r).ReviewState(r.PathValue("id"))
 		respond(w, st, err)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/decisions", s.handleDecision)
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/datasets/{id}/plan", s.handlePlan)
-	return mux
+	if s.opts.Tenants != nil {
+		s.registerTenantAPI(mux)
+	}
+	return s.instrument(mux)
 }
 
 // handlePlan serves the budget planner: with a path id it plans one
@@ -91,23 +103,41 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if id := r.PathValue("id"); id != "" {
-		plan, err := s.PlanDataset(id, budget)
+		plan, err := s.scope(r).PlanDataset(id, budget)
 		respond(w, plan, err)
 		return
 	}
-	plan, err := s.Plan(budget)
+	plan, err := s.scope(r).Plan(budget)
 	respond(w, plan, err)
+}
+
+// countingReader tallies the bytes the CSV parser actually consumed —
+// the per-tenant upload accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	body := r.Body
-	if s.opts.MaxUploadBytes > 0 {
-		// The CSV is parsed row by row (table.CSVReader), so the cap on
-		// the raw body is the only memory bound the handler needs.
-		body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	sc := s.scope(r)
+	var body io.Reader = r.Body
+	// The effective cap is the stricter of the service-wide flag and the
+	// tenant's MaxUploadBytes quota. The CSV is parsed row by row
+	// (table.CSVReader), so the cap on the raw body is the only memory
+	// bound the handler needs.
+	if limit := s.uploadLimitFor(sc.Owner()); limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
 	}
-	info, err := s.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), body)
+	counted := &countingReader{r: body}
+	info, err := sc.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), counted)
+	s.metrics.counters(sc.Owner()).uploadBytes.Add(counted.n)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -121,7 +151,7 @@ func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	info, err := s.OpenSession(r.PathValue("id"), req.Column)
+	info, err := s.scope(r).OpenSession(r.PathValue("id"), req.Column)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -146,7 +176,7 @@ func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		wait = ctx.Done()
 	}
-	page, err := s.PendingGroups(r.PathValue("id"), limit, wait)
+	page, err := s.scope(r).PendingGroups(r.PathValue("id"), limit, wait)
 	respond(w, page, err)
 }
 
@@ -165,12 +195,12 @@ func (s *Service) handleDecision(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decision must be approve, approve-backward or reject"))
 		return
 	}
-	res, err := s.Decide(r.PathValue("id"), req.GroupID, dec)
+	res, err := s.scope(r).Decide(r.PathValue("id"), req.GroupID, dec)
 	respond(w, res, err)
 }
 
 func (s *Service) handleExport(w http.ResponseWriter, r *http.Request, golden bool) {
-	data, err := s.Export(r.PathValue("id"), golden)
+	data, err := s.scope(r).Export(r.PathValue("id"), golden)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -208,6 +238,7 @@ func respondNoContent(w http.ResponseWriter, err error) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var tooLarge *http.MaxBytesError
+	var rateLimited *RateLimitError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
@@ -219,6 +250,19 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrStorage):
 		status = http.StatusInternalServerError
+	case errors.Is(err, ErrUnauthorized):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrForbidden), errors.Is(err, ErrQuota):
+		status = http.StatusForbidden
+	case errors.As(err, &rateLimited):
+		// Retry-After is whole seconds, rounded up so the client never
+		// retries into a still-empty bucket.
+		secs := int64((rateLimited.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		status = http.StatusTooManyRequests
 	case errors.As(err, &tooLarge):
 		status = http.StatusRequestEntityTooLarge
 	}

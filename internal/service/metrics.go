@@ -1,0 +1,131 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// anonTenant is the metrics bucket for unscoped traffic: open-mode
+// callers, the admin key, and unauthenticated (rejected) requests.
+const anonTenant = "anonymous"
+
+// serviceMetrics aggregates per-tenant request accounting plus registry
+// occupancy for GET /v1/metrics. Counter bumps are two atomic ops on
+// the hot path (one map read under RLock, one Add); the exclusive lock
+// is only taken the first time a tenant appears.
+type serviceMetrics struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenantCounters
+}
+
+type tenantCounters struct {
+	requests    atomic.Int64
+	decisions   atomic.Int64
+	uploadBytes atomic.Int64
+	rateLimited atomic.Int64
+}
+
+func newServiceMetrics() *serviceMetrics {
+	return &serviceMetrics{tenants: make(map[string]*tenantCounters)}
+}
+
+// counters returns the tenant's counter block, creating it on first
+// use. The empty owner maps to the anonymous bucket.
+func (m *serviceMetrics) counters(owner string) *tenantCounters {
+	if owner == "" {
+		owner = anonTenant
+	}
+	m.mu.RLock()
+	c, ok := m.tenants[owner]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.tenants[owner]; !ok {
+		c = &tenantCounters{}
+		m.tenants[owner] = c
+	}
+	return c
+}
+
+// TenantMetrics is one tenant's slice of GET /v1/metrics.
+type TenantMetrics struct {
+	// Requests counts every HTTP request attributed to the tenant
+	// (including rejected ones).
+	Requests int64 `json:"requests"`
+	// Decisions counts acknowledged reviewer decisions on the tenant's
+	// sessions.
+	Decisions int64 `json:"decisions"`
+	// UploadBytes totals the dataset-upload body bytes consumed.
+	UploadBytes int64 `json:"upload_bytes"`
+	// RateLimited counts decisions refused with 429.
+	RateLimited int64 `json:"rate_limited"`
+}
+
+// MetricsInfo is the GET /v1/metrics document: per-tenant counters plus
+// registry occupancy, shard by shard (the load-balance view the
+// sharding design is supposed to keep flat).
+type MetricsInfo struct {
+	Tenants map[string]TenantMetrics `json:"tenants"`
+	// Datasets and Sessions count live registry entries.
+	Datasets int `json:"datasets"`
+	Sessions int `json:"sessions"`
+	// DatasetShards and SessionShards are per-shard entry counts, in
+	// shard order.
+	DatasetShards []int `json:"dataset_shards"`
+	SessionShards []int `json:"session_shards"`
+}
+
+// metricsSnapshot assembles the metrics document. A tenant-scoped
+// caller (owner != "") sees only its own counters; registry occupancy
+// is shard cardinality, not ids, so it is safe to share.
+func (s *Service) metricsSnapshot(owner string) MetricsInfo {
+	out := MetricsInfo{
+		Tenants:       make(map[string]TenantMetrics),
+		DatasetShards: s.datasets.sizes(),
+		SessionShards: s.sessions.sizes(),
+	}
+	for _, n := range out.DatasetShards {
+		out.Datasets += n
+	}
+	for _, n := range out.SessionShards {
+		out.Sessions += n
+	}
+	s.metrics.mu.RLock()
+	defer s.metrics.mu.RUnlock()
+	for id, c := range s.metrics.tenants {
+		if owner != "" && id != owner {
+			continue
+		}
+		out.Tenants[id] = TenantMetrics{
+			Requests:    c.requests.Load(),
+			Decisions:   c.decisions.Load(),
+			UploadBytes: c.uploadBytes.Load(),
+			RateLimited: c.rateLimited.Load(),
+		}
+	}
+	return out
+}
+
+// handleMetrics serves GET /v1/metrics. In open mode it is public; with
+// auth on, the admin sees everything and a tenant key sees only its own
+// counters.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	owner := ""
+	if s.opts.Tenants != nil {
+		p := principalFrom(r)
+		if !p.admin {
+			owner = p.tenant
+			if owner == "" {
+				// Authenticated but neither admin nor tenant cannot happen
+				// today; refuse rather than leak the global view.
+				writeError(w, ErrForbidden)
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, s.metricsSnapshot(owner))
+}

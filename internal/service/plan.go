@@ -83,48 +83,52 @@ type planCandidate struct {
 	approveRate float64
 }
 
-// Plan ranks the pending groups of every live session by expected gain
-// and greedily allocates a review budget of budget groups across them.
-// Collection is shard-friendly: session pointers are gathered one
-// registry shard at a time (no cross-shard or global lock), and each
-// session's groups are read under that session's own mutex. Passivated
-// sessions are not restored — planning is advisory and must not defeat
-// passivation; touch a session to bring it back into the pool.
-func (s *Service) Plan(budget int) (BudgetPlan, error) {
+// plan ranks the pending groups of the owner's live sessions ("" =
+// every session) by expected gain and greedily allocates a review
+// budget of budget groups across them. Collection is shard-friendly:
+// session pointers are gathered one registry shard at a time (no
+// cross-shard or global lock), the tenant filter is applied during that
+// walk, and each session's groups are read under that session's own
+// mutex. Passivated sessions are not restored — planning is advisory
+// and must not defeat passivation; touch a session to bring it back
+// into the pool.
+func (s *Service) plan(owner string, budget int) (BudgetPlan, error) {
 	if err := s.alive(); err != nil {
 		return BudgetPlan{}, err
 	}
 	if budget <= 0 {
 		return BudgetPlan{}, fmt.Errorf("budget must be positive, got %d", budget)
 	}
-	return assemblePlan(budget, s.collectCandidates(s.allSessions())), nil
+	return assemblePlan(budget, s.collectCandidates(s.allSessions(owner))), nil
 }
 
-// PlanDataset is Plan restricted to one dataset's live sessions. It
+// planDataset is plan restricted to one dataset's live sessions. It
 // touches the dataset (and restores a passivated one), exactly like
 // every other dataset-addressed call.
-func (s *Service) PlanDataset(datasetID string, budget int) (BudgetPlan, error) {
+func (s *Service) planDataset(owner, datasetID string, budget int) (BudgetPlan, error) {
 	if err := s.alive(); err != nil {
 		return BudgetPlan{}, err
 	}
 	if budget <= 0 {
 		return BudgetPlan{}, fmt.Errorf("budget must be positive, got %d", budget)
 	}
-	d, err := s.getDataset(datasetID)
+	d, err := s.lookupDataset(owner, datasetID)
 	if err != nil {
 		return BudgetPlan{}, err
 	}
 	return assemblePlan(budget, s.collectCandidates(s.datasetSessions(d))), nil
 }
 
-// allSessions gathers every live session shard by shard. rangeAll
-// holds one shard's read lock at a time and appending a pointer is
-// non-blocking, so the planner never stalls traffic on other shards
-// (or even on the shard being walked).
-func (s *Service) allSessions() []*columnSession {
+// allSessions gathers the owner's live sessions ("" = all) shard by
+// shard. rangeAll holds one shard's read lock at a time and the filter
+// plus append are non-blocking, so the planner never stalls traffic on
+// other shards (or even on the shard being walked).
+func (s *Service) allSessions(owner string) []*columnSession {
 	var out []*columnSession
 	s.sessions.rangeAll(func(_ string, cs *columnSession) bool {
-		out = append(out, cs)
+		if owner == "" || cs.owner == owner {
+			out = append(out, cs)
+		}
 		return true
 	})
 	return out

@@ -91,6 +91,7 @@ func (s *Service) restoreDataset(id string) (*dataset, int, error) {
 		id:      meta.ID,
 		created: meta.Created,
 		keyCol:  meta.KeyCol,
+		owner:   meta.Owner,
 		cons:    cons,
 		columns: make(map[int]string),
 	}
@@ -132,7 +133,11 @@ func (s *Service) restoreSession(d *dataset, sm store.SessionMeta) error {
 		datasetID: d.id,
 		column:    sm.Column,
 		col:       col,
-		d:         d,
+		// The dataset's owner, not the meta's, is authoritative: the two
+		// only diverge for metas written before tenancy existed, which
+		// have no owner at all.
+		owner: d.owner,
+		d:     d,
 	}
 	cs.cond = sync.NewCond(&cs.mu)
 	if sm.Compacted {

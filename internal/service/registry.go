@@ -148,6 +148,20 @@ func (r *shardedRegistry[V]) get(id string) (V, bool) {
 	return it.val, true
 }
 
+// peek returns the value WITHOUT refreshing its idle timer. Ownership
+// checks use it so probing a foreign id never keeps the entry alive.
+func (r *shardedRegistry[V]) peek(id string) (V, bool) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	it, ok := sh.items[id]
+	sh.mu.RUnlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return it.val, true
+}
+
 // touch refreshes the idle timer without reading the value.
 func (r *shardedRegistry[V]) touch(id string) {
 	sh := r.shard(id)

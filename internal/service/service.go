@@ -26,6 +26,14 @@
 // apply concurrently (read side) while golden-record export (write
 // side) sees a quiescent dataset.
 //
+// Multi-tenancy: with Options.Tenants set, every request authenticates
+// with an API key and runs inside a Scope — datasets and sessions carry
+// their owning tenant, every lookup, listing and plan filters by it
+// (foreign ids read as 404), and the registry's quotas (datasets,
+// sessions, upload bytes) and decisions/sec token buckets are enforced
+// with 403/413/429. Without it the service behaves exactly as before
+// tenancy existed: one implicit, unlimited, unauthenticated principal.
+//
 // Durability: every state transition is persisted through a store.Store
 // before it is acknowledged — uploads snapshot the dataset, session
 // opens record their meta, and each decision is appended to the
@@ -41,6 +49,7 @@
 package service
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,6 +61,7 @@ import (
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/store"
+	"github.com/goldrec/goldrec/internal/tenant"
 	"github.com/goldrec/goldrec/table"
 )
 
@@ -107,6 +117,19 @@ type Options struct {
 	// store directory recovers identically under any value.
 	Shards int
 
+	// Tenants enables multi-tenant operation: every /v1 request must
+	// authenticate with an API key, datasets and sessions are owned by
+	// (and visible only to) the tenant that created them, and the
+	// registry's quotas and decision rate limits are enforced. nil =
+	// open mode, the pre-tenancy behavior: no authentication, every
+	// caller unscoped.
+	Tenants *tenant.Registry
+	// AdminKey is the bootstrap admin API key. A request presenting it
+	// is unscoped (sees every tenant's data) and may call the
+	// /v1/tenants admin API. Only its SHA-256 is retained after New.
+	// Meaningful only with Tenants set.
+	AdminKey string
+
 	// clock substitutes time in tests (nil = wall clock).
 	clock Clock
 }
@@ -118,9 +141,22 @@ type Service struct {
 	clock    Clock
 	datasets *shardedRegistry[*dataset]
 	sessions *shardedRegistry[*columnSession]
+	metrics  *serviceMetrics
+
+	// adminHash is the SHA-256 of Options.AdminKey; hasAdmin marks it
+	// valid (so an empty AdminKey can never authenticate).
+	adminHash [sha256.Size]byte
+	hasAdmin  bool
 
 	mu     sync.Mutex // guards closed and the session-count check-and-add
 	closed bool
+
+	// admitMu serializes one tenant's resource admissions (dataset and
+	// session creates) so a quota check-and-register is atomic per
+	// tenant: two concurrent creates cannot both pass the same last
+	// quota slot. Keyed by tenant id; guarded by mu. Lock ordering:
+	// admission mutex before mu.
+	admitMu map[string]*sync.Mutex
 
 	// restoreMu serializes passivation misses so one goroutine rebuilds
 	// a dataset while the others wait and then find it live. One mutex
@@ -162,7 +198,14 @@ func New(opts Options) *Service {
 		clock:     opts.clock,
 		datasets:  newRegistry[*dataset]("ds", opts.Shards, opts.TTL, opts.clock),
 		sessions:  newRegistry[*columnSession]("cs", opts.Shards, opts.TTL, opts.clock),
+		metrics:   newServiceMetrics(),
 		restoreMu: make([]sync.Mutex, opts.Shards),
+		admitMu:   make(map[string]*sync.Mutex),
+	}
+	if opts.AdminKey != "" {
+		s.adminHash = sha256.Sum256([]byte(opts.AdminKey))
+		s.hasAdmin = true
+		s.opts.AdminKey = "" // only the hash is needed past this point
 	}
 	if opts.TTL > 0 {
 		interval := opts.JanitorInterval
@@ -309,7 +352,10 @@ type dataset struct {
 	id      string
 	created time.Time
 	keyCol  string
-	cons    *goldrec.Consolidator
+	// owner is the id of the tenant the dataset belongs to ("" = open
+	// mode or admin-created: unowned, visible only to unscoped callers).
+	owner string
+	cons  *goldrec.Consolidator
 
 	// applyMu orders column writes against whole-dataset reads:
 	// sessions hold the read side while applying (distinct columns
@@ -330,7 +376,10 @@ type columnSession struct {
 	datasetID string
 	column    string
 	col       int
-	d         *dataset
+	// owner mirrors the dataset's owning tenant: a session is always
+	// owned by (and counted against) its dataset's tenant.
+	owner string
+	d     *dataset
 	// resume makes the generator replay the session's WAL (restoring a
 	// passivated or pre-restart session) before producing new groups.
 	resume bool
@@ -353,10 +402,10 @@ type columnSession struct {
 	archived *goldrec.ReviewState
 }
 
-// CreateDataset ingests a clustered CSV (key column identifies
+// createDataset ingests a clustered CSV (key column identifies
 // clusters; optional source column populates Record.Source) and
-// registers it.
-func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
+// registers it under the owning tenant ("" = unowned).
+func (s *Service) createDataset(owner, name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
 	if err := s.alive(); err != nil {
 		return DatasetInfo{}, err
 	}
@@ -366,6 +415,9 @@ func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (Dat
 	if keyCol == "" {
 		return DatasetInfo{}, fmt.Errorf("missing key column name")
 	}
+	// Parse before any admission lock: the body read is paced by the
+	// client's network, and holding the tenant's lock across it would
+	// let one slow upload freeze the tenant's whole write path.
 	ds, err := table.ReadCSV(csv, name, keyCol, srcCol)
 	if err != nil {
 		return DatasetInfo{}, err
@@ -377,14 +429,32 @@ func (s *Service) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (Dat
 	d := &dataset{
 		created: s.clock.Now(),
 		keyCol:  keyCol,
+		owner:   owner,
 		cons:    cons,
 		columns: make(map[int]string),
 	}
-	s.datasets.add(d, func(id string) { d.id = id })
+	if owner != "" {
+		// The admission lock covers only check-and-register: once the
+		// dataset is in the registry it counts against the quota, so the
+		// slot is reserved and the (slow) snapshot write can happen
+		// outside the lock.
+		mu := s.admissionLock(owner)
+		mu.Lock()
+		if q, ok := s.quotasFor(owner); ok && q.MaxDatasets > 0 {
+			if n := s.ownedDatasetCount(owner); n >= q.MaxDatasets {
+				mu.Unlock()
+				return DatasetInfo{}, fmt.Errorf("%w: dataset quota reached (max %d)", ErrQuota, q.MaxDatasets)
+			}
+		}
+		s.datasets.add(d, func(id string) { d.id = id })
+		mu.Unlock()
+	} else {
+		s.datasets.add(d, func(id string) { d.id = id })
+	}
 	// Snapshot before acknowledging, and before any session can mutate
 	// the dataset: this version-1 snapshot is what every session WAL
 	// replays over.
-	meta := store.DatasetMeta{ID: d.id, Name: ds.Name, KeyCol: keyCol, Created: d.created}
+	meta := store.DatasetMeta{ID: d.id, Name: ds.Name, KeyCol: keyCol, Created: d.created, Owner: owner}
 	if err := s.store.PutDataset(meta, ds); err != nil {
 		s.datasets.remove(d.id)
 		return DatasetInfo{}, fmt.Errorf("%w: snapshotting dataset: %v", ErrStorage, err)
@@ -404,26 +474,56 @@ func (s *Service) getDataset(id string) (*dataset, error) {
 	return d, err
 }
 
-// GetDataset returns a dataset's info and refreshes its idle timer.
-func (s *Service) GetDataset(id string) (DatasetInfo, error) {
+// lookupDataset is getDataset plus tenant visibility: when owner is
+// set, a dataset belonging to anyone else reads as missing — 404,
+// never 403, so ids cannot be probed across tenants. The ownership is
+// resolved BEFORE any side effect (no idle-timer refresh, no
+// passivation restore): a foreign probe must not keep the victim's
+// dataset alive or pull it back into memory.
+func (s *Service) lookupDataset(owner, id string) (*dataset, error) {
+	if owner != "" {
+		if d, ok := s.datasets.peek(id); ok {
+			if d.owner != owner {
+				return nil, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+			}
+		} else if m, ok := s.storedDatasetMeta(id); !ok || m.Owner != owner {
+			return nil, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+		}
+	}
 	d, err := s.getDataset(id)
+	if err != nil {
+		return nil, err
+	}
+	if owner != "" && d.owner != owner {
+		return nil, fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+	}
+	return d, nil
+}
+
+// getDatasetInfo returns a dataset's info and refreshes its idle timer.
+func (s *Service) getDatasetInfo(owner, id string) (DatasetInfo, error) {
+	d, err := s.lookupDataset(owner, id)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
 	return s.datasetInfo(d), nil
 }
 
-// ListDatasets returns every live dataset in creation order, followed
-// by any passivated datasets still restorable from the store (marked
-// Passive, with only their meta fields populated — restoring each just
-// to count its clusters would defeat passivation).
-func (s *Service) ListDatasets() []DatasetInfo {
+// listDatasets returns the owner-visible live datasets in creation
+// order, followed by any passivated datasets still restorable from the
+// store (marked Passive, with only their meta fields populated —
+// restoring each just to count its clusters would defeat passivation).
+// An empty owner sees everything.
+func (s *Service) listDatasets(owner string) []DatasetInfo {
 	ds := s.datasets.list()
-	out := make([]DatasetInfo, len(ds))
+	out := make([]DatasetInfo, 0, len(ds))
 	live := make(map[string]bool, len(ds))
-	for i, d := range ds {
-		out[i] = s.datasetInfo(d)
+	for _, d := range ds {
 		live[d.id] = true
+		if owner != "" && d.owner != owner {
+			continue
+		}
+		out = append(out, s.datasetInfo(d))
 	}
 	metas, err := s.store.ListDatasets()
 	if err != nil {
@@ -431,27 +531,40 @@ func (s *Service) ListDatasets() []DatasetInfo {
 		return out
 	}
 	for _, m := range metas {
-		if !live[m.ID] {
-			out = append(out, DatasetInfo{ID: m.ID, Name: m.Name, Created: m.Created, Passive: true})
+		if live[m.ID] || (owner != "" && m.Owner != owner) {
+			continue
 		}
+		out = append(out, DatasetInfo{ID: m.ID, Name: m.Name, Created: m.Created, Passive: true})
 	}
 	return out
 }
 
-// DeleteDataset removes a dataset and closes its sessions. Unlike
+// deleteDataset removes a dataset and closes its sessions. Unlike
 // eviction, deletion purges the durable state too: a deleted dataset is
 // gone for good. It holds the dataset's shard restore lock so a
 // concurrent touch of one of the dataset's ids cannot resurrect it from
 // the store between the in-memory remove and the durable purge.
-func (s *Service) DeleteDataset(id string) error {
+func (s *Service) deleteDataset(owner, id string) error {
 	mu := &s.restoreMu[s.datasets.shardIndex(id)]
 	mu.Lock()
 	defer mu.Unlock()
+	if owner != "" {
+		// Resolve ownership before removing anything: a foreign id must
+		// read as missing with no side effects. Live entries answer from
+		// memory; passivated ones from the store meta.
+		if d, ok := s.datasets.get(id); ok {
+			if d.owner != owner {
+				return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+			}
+		} else if m, ok := s.storedDatasetMeta(id); !ok || m.Owner != owner {
+			return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
+		}
+	}
 	_, live := s.datasets.remove(id)
 	if !live {
 		// Not in memory — it may still be a passivated dataset in the
 		// store, which DELETE must also purge.
-		if !s.storedDatasetExists(id) {
+		if _, ok := s.storedDatasetMeta(id); !ok {
 			return fmt.Errorf("dataset %s: %w", id, ErrNotFound)
 		}
 	}
@@ -475,21 +588,49 @@ func (s *Service) DeleteDataset(id string) error {
 	return nil
 }
 
-// storedDatasetExists reports whether the store knows the dataset. It
+// ownedDatasetCount counts the datasets a tenant owns: live ones via a
+// lock-free-ish shard walk (no info building), passivated ones via one
+// pass over the store's meta listing. The store scan is inherent to
+// the Store interface (no per-owner index yet) but runs only on
+// quota-limited uploads.
+func (s *Service) ownedDatasetCount(owner string) int {
+	n := 0
+	live := make(map[string]bool)
+	s.datasets.rangeAll(func(id string, d *dataset) bool {
+		live[id] = true
+		if d.owner == owner {
+			n++
+		}
+		return true
+	})
+	metas, err := s.store.ListDatasets()
+	if err != nil {
+		s.opts.Logf("listing stored datasets: %v", err)
+		return n
+	}
+	for _, m := range metas {
+		if !live[m.ID] && m.Owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// storedDatasetMeta returns the store's meta for a dataset, if any. It
 // scans the (small) meta listing; deletes are rare enough that a
 // dedicated point lookup has not been worth widening the Store
 // interface for.
-func (s *Service) storedDatasetExists(id string) bool {
+func (s *Service) storedDatasetMeta(id string) (store.DatasetMeta, bool) {
 	metas, err := s.store.ListDatasets()
 	if err != nil {
-		return false
+		return store.DatasetMeta{}, false
 	}
 	for _, m := range metas {
 		if m.ID == id {
-			return true
+			return m, true
 		}
 	}
-	return false
+	return store.DatasetMeta{}, false
 }
 
 func (s *Service) datasetInfo(d *dataset) DatasetInfo {
@@ -512,20 +653,32 @@ func (s *Service) datasetInfo(d *dataset) DatasetInfo {
 	}
 }
 
-// OpenSession starts reviewing one column of a dataset. Candidate
+// openSession starts reviewing one column of a dataset. Candidate
 // generation and grouping run in a background goroutine; the call
-// returns as soon as the session is registered.
-func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
+// returns as soon as the session is registered. The session belongs to
+// the dataset's tenant, whose MaxSessions quota it counts against
+// (even when an unscoped admin opens it).
+func (s *Service) openSession(owner, datasetID, column string) (SessionInfo, error) {
 	if err := s.alive(); err != nil {
 		return SessionInfo{}, err
 	}
-	d, err := s.getDataset(datasetID)
+	d, err := s.lookupDataset(owner, datasetID)
 	if err != nil {
 		return SessionInfo{}, err
 	}
 	col := d.cons.Dataset().ColumnIndex(column)
 	if col < 0 {
 		return SessionInfo{}, fmt.Errorf("dataset %s has no column %q", datasetID, column)
+	}
+	if subject := d.owner; subject != "" {
+		mu := s.admissionLock(subject)
+		mu.Lock()
+		defer mu.Unlock()
+		if q, ok := s.quotasFor(subject); ok && q.MaxSessions > 0 {
+			if n := s.ownedLiveSessions(subject); n >= q.MaxSessions {
+				return SessionInfo{}, fmt.Errorf("%w: session quota reached (max %d)", ErrQuota, q.MaxSessions)
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -540,7 +693,7 @@ func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
 		s.mu.Unlock()
 		return SessionInfo{}, fmt.Errorf("%w (max %d)", ErrLimit, s.opts.MaxSessions)
 	}
-	cs := &columnSession{datasetID: datasetID, column: column, col: col, d: d}
+	cs := &columnSession{datasetID: datasetID, column: column, col: col, owner: d.owner, d: d}
 	cs.cond = sync.NewCond(&cs.mu)
 	d.mu.Lock()
 	if owner, busy := d.columns[col]; busy {
@@ -556,7 +709,7 @@ func (s *Service) OpenSession(datasetID, column string) (SessionInfo, error) {
 	// Persist the session before its generator can append WAL records
 	// (the store needs the session registered to accept appends). A
 	// session that cannot be persisted must not run.
-	meta := store.SessionMeta{ID: cs.id, DatasetID: datasetID, Column: column, Created: s.clock.Now()}
+	meta := store.SessionMeta{ID: cs.id, DatasetID: datasetID, Column: column, Created: s.clock.Now(), Owner: cs.owner}
 	if err := s.store.PutSession(meta); err != nil {
 		s.closeSession(cs)
 		return SessionInfo{}, fmt.Errorf("%w: persisting session: %v", ErrStorage, err)
@@ -727,33 +880,82 @@ func setColumnValues(ds *table.Dataset, col int, values [][]string) {
 	}
 }
 
-// GetSession returns a session's info and refreshes its idle timer
-// (and its dataset's).
-func (s *Service) GetSession(id string) (SessionInfo, error) {
+// lookupSession is session plus tenant visibility: a foreign session
+// id reads as missing, exactly like lookupDataset — and, like it,
+// resolves ownership before the touch/restore side effects.
+func (s *Service) lookupSession(owner, id string) (*columnSession, error) {
+	if owner != "" {
+		if cs, ok := s.sessions.peek(id); ok {
+			if cs.owner != owner {
+				return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+			}
+		} else {
+			sm, err := s.store.FindSession(id)
+			if errors.Is(err, store.ErrNotExist) {
+				return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%w: looking up session %s: %v", ErrStorage, id, err)
+			}
+			if sm.Owner != owner {
+				return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+			}
+		}
+	}
 	cs, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	if owner != "" && cs.owner != owner {
+		return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	return cs, nil
+}
+
+// getSessionInfo returns a session's info and refreshes its idle timer
+// (and its dataset's).
+func (s *Service) getSessionInfo(owner, id string) (SessionInfo, error) {
+	cs, err := s.lookupSession(owner, id)
 	if err != nil {
 		return SessionInfo{}, err
 	}
 	return cs.info(), nil
 }
 
-// ListSessions returns every live session in creation order.
-func (s *Service) ListSessions() []SessionInfo {
+// listSessions returns the owner-visible live sessions in creation
+// order. An empty owner sees everything.
+func (s *Service) listSessions(owner string) []SessionInfo {
 	css := s.sessions.list()
-	out := make([]SessionInfo, len(css))
-	for i, cs := range css {
-		out[i] = cs.info()
+	out := make([]SessionInfo, 0, len(css))
+	for _, cs := range css {
+		if owner != "" && cs.owner != owner {
+			continue
+		}
+		out = append(out, cs.info())
 	}
 	return out
 }
 
-// DeleteSession closes a session and frees its column for a new one.
+// ownedLiveSessions counts the live sessions owned by a tenant, shard
+// by shard (no global lock) — the MaxSessions quota check.
+func (s *Service) ownedLiveSessions(owner string) int {
+	n := 0
+	s.sessions.rangeAll(func(_ string, cs *columnSession) bool {
+		if cs.owner == owner {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// deleteSession closes a session and frees its column for a new one.
 // Deletion is permanent: the session's WAL and archive are purged —
 // but not before its applied decisions are folded into the dataset
 // snapshot, so standardization work done through a deleted session
 // still survives a restart.
-func (s *Service) DeleteSession(id string) error {
-	cs, err := s.session(id)
+func (s *Service) deleteSession(owner, id string) error {
+	cs, err := s.lookupSession(owner, id)
 	if errors.Is(err, ErrNotFound) {
 		// Not live and not restorable (the dataset is live but this
 		// session is not — e.g. a prior delete purged the memory side
@@ -765,6 +967,9 @@ func (s *Service) DeleteSession(id string) error {
 		}
 		if ferr != nil {
 			return fmt.Errorf("%w: looking up session %s: %v", ErrStorage, id, ferr)
+		}
+		if owner != "" && sm.Owner != owner {
+			return err
 		}
 		if derr := s.store.DeleteSession(sm.DatasetID, id); derr != nil {
 			return fmt.Errorf("%w: deleting session %s: %v", ErrStorage, id, derr)
@@ -887,12 +1092,12 @@ func (cs *columnSession) statusLocked() string {
 	}
 }
 
-// PendingGroups returns up to limit undecided groups (0 = all buffered
+// pendingGroups returns up to limit undecided groups (0 = all buffered
 // plus whatever more the generator has ready), oldest first. When wait
 // is non-nil, an empty buffer blocks until a group arrives, the stream
 // ends, or wait is canceled.
-func (s *Service) PendingGroups(id string, limit int, wait <-chan struct{}) (GroupPage, error) {
-	cs, err := s.session(id)
+func (s *Service) pendingGroups(owner, id string, limit int, wait <-chan struct{}) (GroupPage, error) {
+	cs, err := s.lookupSession(owner, id)
 	if err != nil {
 		return GroupPage{}, err
 	}
@@ -959,7 +1164,7 @@ func chanClosed(c <-chan struct{}) bool {
 	}
 }
 
-// Decide records the reviewer's verdict for one issued group and, for
+// decide records the reviewer's verdict for one issued group and, for
 // approvals, applies the replacements. Distinct-column sessions of the
 // same dataset can apply concurrently; exports serialize against them.
 //
@@ -967,15 +1172,25 @@ func chanClosed(c <-chan struct{}) bool {
 // before it is applied or acknowledged: once the reviewer sees success,
 // the verdict survives any crash. A storage failure rejects the request
 // with nothing recorded and nothing applied.
-func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
+//
+// A tenant-scoped caller spends one token of its decisions/sec budget
+// per attempt; an empty bucket rejects with RateLimitError before any
+// work is done (unscoped callers are never rate limited).
+func (s *Service) decide(owner, id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
 	switch decision {
 	case goldrec.Approved, goldrec.ApprovedBackward, goldrec.Rejected:
 	default:
 		return DecisionResult{}, fmt.Errorf("invalid decision %d", int(decision))
 	}
-	cs, err := s.session(id)
+	cs, err := s.lookupSession(owner, id)
 	if err != nil {
 		return DecisionResult{}, err
+	}
+	if owner != "" && s.opts.Tenants != nil {
+		if ok, retry := s.opts.Tenants.AllowDecision(owner); !ok {
+			s.metrics.counters(owner).rateLimited.Add(1)
+			return DecisionResult{}, &RateLimitError{RetryAfter: retry}
+		}
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -1040,6 +1255,10 @@ func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (Dec
 		Applied:  stats,
 		Stats:    cs.sess.Stats(),
 	}
+	// Acknowledged decisions are metered against the session's owner
+	// (the tenant whose review budget is being spent), so an admin
+	// reviewing on a tenant's behalf still shows up on that tenant.
+	s.metrics.counters(cs.owner).decisions.Add(1)
 	s.maybeCompactLocked(cs)
 	return res, nil
 }
@@ -1077,11 +1296,11 @@ func (s *Service) compactLocked(cs *columnSession) error {
 	return nil
 }
 
-// ReviewState snapshots a session's full review progress. For a
+// reviewState snapshots a session's full review progress. For a
 // compacted session restored from the store, the archived final state
 // is served instead.
-func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
-	cs, err := s.session(id)
+func (s *Service) reviewState(owner, id string) (goldrec.ReviewState, error) {
+	cs, err := s.lookupSession(owner, id)
 	if err != nil {
 		return goldrec.ReviewState{}, err
 	}
@@ -1097,12 +1316,12 @@ func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
 	return cs.sess.ReviewState(), nil
 }
 
-// Export renders the dataset's records. Golden exports run truth
+// export renders the dataset's records. Golden exports run truth
 // discovery over the standardized dataset (Algorithm 1 line 10);
 // standardized exports dump the current cell values. Both hold the
 // dataset's write lock so no session applies mid-read.
-func (s *Service) Export(datasetID string, golden bool) (ExportData, error) {
-	d, err := s.getDataset(datasetID)
+func (s *Service) export(owner, datasetID string, golden bool) (ExportData, error) {
+	d, err := s.lookupDataset(owner, datasetID)
 	if err != nil {
 		return ExportData{}, err
 	}

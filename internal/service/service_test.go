@@ -6,12 +6,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/tenant"
 )
 
 // paperCSV is Table 1 of the paper as a clustered CSV (the key column
@@ -25,8 +27,26 @@ C2,James Smith,"3rd E Ave, 33990 California"
 C2,J. Smith,"3 E Avenue, 33990 CA"
 `
 
+// testAuth reruns the whole HTTP suite through the auth middleware:
+// with GOLDREC_TEST_AUTH=1, newTestServer enables multi-tenancy and
+// doJSON authenticates every request with the bootstrap admin key
+// (unscoped, so the suite's expectations are unchanged while every
+// request exercises key extraction, hashing and principal routing).
+// CI runs the suite in both modes.
+var testAuth = os.Getenv("GOLDREC_TEST_AUTH") == "1"
+
+const testAdminKey = "goldrec-test-admin-key-0123456789abcdef"
+
 func newTestServer(t *testing.T, opts Options) (*Service, *httptest.Server) {
 	t.Helper()
+	if testAuth && opts.Tenants == nil {
+		reg, err := tenant.Open(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Tenants = reg
+		opts.AdminKey = testAdminKey
+	}
 	svc := New(opts)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
@@ -37,12 +57,17 @@ func newTestServer(t *testing.T, opts Options) (*Service, *httptest.Server) {
 }
 
 // doJSON performs a request and decodes the JSON response into out
-// (skipped when out is nil), returning the status code.
+// (skipped when out is nil), returning the status code. In auth-on
+// suite mode every request carries the admin key; servers running with
+// auth off ignore it.
 func doJSON(t *testing.T, method, url string, body io.Reader, out any) int {
 	t.Helper()
 	req, err := http.NewRequest(method, url, body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if testAuth {
+		req.Header.Set("Authorization", "Bearer "+testAdminKey)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -199,7 +224,14 @@ func TestFullReviewLoop(t *testing.T) {
 	if len(golden.Records) != 2 {
 		t.Fatalf("golden records = %d, want 2 (one per cluster)", len(golden.Records))
 	}
-	resp, err := http.Get(ts.URL + "/v1/datasets/" + ds.ID + "/golden?format=csv")
+	csvReq, err := http.NewRequest("GET", ts.URL+"/v1/datasets/"+ds.ID+"/golden?format=csv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testAuth {
+		csvReq.Header.Set("Authorization", "Bearer "+testAdminKey)
+	}
+	resp, err := http.DefaultClient.Do(csvReq)
 	if err != nil {
 		t.Fatal(err)
 	}

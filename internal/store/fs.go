@@ -30,7 +30,8 @@ type FSOptions struct {
 
 // FS is the filesystem backend. The layout under the root is one
 // directory per dataset holding its meta, versioned snapshots, and one
-// directory per session:
+// directory per session, plus a tenants directory for the tenant
+// registry:
 //
 //	<root>/datasets/<ds_id>/
 //	    meta.json                 dataset meta (atomic rename)
@@ -41,6 +42,10 @@ type FSOptions struct {
 //	        wal.jsonl             append-only decision log, one JSON
 //	                              record per line
 //	        state.json            archived ReviewState (after compaction)
+//	<root>/tenants/
+//	    snapshot.json             tenant-registry snapshot (atomic rename)
+//	    changes.jsonl             append-only tenant change log, cleared
+//	                              when a snapshot subsumes it
 //
 // Every non-append write lands in a temp file first and is renamed into
 // place, so readers never observe a partial meta or snapshot. WAL
@@ -53,6 +58,9 @@ type FS struct {
 
 	mu   sync.Mutex
 	wals map[string]*os.File // open WAL handles, keyed dsID+"/"+csID
+	// tenantMu serializes tenant snapshot/change-log writes; tenant
+	// mutations are admin-rate, so one lock is plenty.
+	tenantMu sync.Mutex
 	// dsMu serializes snapshot read-modify-write cycles per dataset:
 	// without it, two sessions compacting concurrently would both write
 	// the same next snapshot version and one session's fold would be
@@ -695,6 +703,104 @@ func containsString(xs []string, x string) bool {
 		}
 	}
 	return false
+}
+
+// tenantsDir returns the tenant-registry directory, creating it on
+// first use.
+func (s *FS) tenantsDir() (string, error) {
+	dir := filepath.Join(s.root, "tenants")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: tenants dir: %w", err)
+	}
+	return dir, nil
+}
+
+// SaveTenantSnapshot atomically replaces the tenant-registry snapshot
+// and clears the change log it subsumes. The clear is best-effort: the
+// registry's change records converge under replay, so a log that
+// survives a crash between the two steps is redundant, not wrong.
+func (s *FS) SaveTenantSnapshot(data []byte) error {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	dir, err := s.tenantsDir()
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(filepath.Join(dir, "snapshot.json"), data); err != nil {
+		return fmt.Errorf("store: tenant snapshot: %w", err)
+	}
+	os.Remove(filepath.Join(dir, "changes.jsonl"))
+	return nil
+}
+
+// LoadTenantSnapshot returns the latest tenant-registry snapshot.
+func (s *FS) LoadTenantSnapshot() ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(s.root, "tenants", "snapshot.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: tenant snapshot: %w", ErrNotExist)
+	}
+	return raw, err
+}
+
+// AppendTenantChange durably appends one record to the tenant change
+// log. Tenant mutations are rare, so the handle is opened per append
+// rather than cached like session WALs.
+func (s *FS) AppendTenantChange(data []byte) error {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	dir, err := s.tenantsDir()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "changes.jsonl")
+	if err := repairWALTail(path); err != nil {
+		return fmt.Errorf("store: tenant changes: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: tenant changes: %w", err)
+	}
+	defer f.Close()
+	line := append(append([]byte(nil), data...), '\n')
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("store: tenant change append: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: tenant change sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayTenantChanges streams the tenant change log in append order,
+// dropping a torn final record exactly like ReplayWAL.
+func (s *FS) ReplayTenantChanges(fn func(data []byte) error) error {
+	raw, err := os.ReadFile(filepath.Join(s.root, "tenants", "changes.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: tenant changes: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			if i == len(lines)-1 {
+				// Torn final record from a crash mid-append: the change it
+				// held was never acknowledged, so dropping it is safe.
+				return nil
+			}
+			return fmt.Errorf("store: tenant change record %d: corrupt", i+1)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LoadSessionState returns the archived ReviewState of a compacted

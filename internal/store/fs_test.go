@@ -425,3 +425,121 @@ func TestFSSurvivesReopen(t *testing.T) {
 		t.Fatalf("replayed %d records, want 2", n)
 	}
 }
+
+// TestTenantPersistence covers the tenant snapshot + change-log
+// primitives: replay order, snapshot save clearing the log it
+// subsumes, torn-tail tolerance, and the Null backend's no-ops.
+func TestTenantPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.LoadTenantSnapshot(); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("LoadTenantSnapshot on empty store: %v, want ErrNotExist", err)
+	}
+	if err := s.ReplayTenantChanges(func([]byte) error {
+		t.Fatal("empty store replayed a change")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Appends replay in order.
+	for _, rec := range []string{`{"op":"put","id":"a"}`, `{"op":"put","id":"b"}`, `{"op":"delete","id":"a"}`} {
+		if err := s.AppendTenantChange([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := s.ReplayTenantChanges(func(data []byte) error {
+		got = append(got, string(data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != `{"op":"put","id":"a"}` || got[2] != `{"op":"delete","id":"a"}` {
+		t.Fatalf("replayed changes = %v", got)
+	}
+
+	// A snapshot save subsumes (and clears) the log.
+	if err := s.SaveTenantSnapshot([]byte(`{"version":1,"tenants":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.LoadTenantSnapshot()
+	if err != nil || string(raw) != `{"version":1,"tenants":[]}` {
+		t.Fatalf("LoadTenantSnapshot = %q, %v", raw, err)
+	}
+	if err := s.ReplayTenantChanges(func(data []byte) error {
+		t.Fatalf("change %q survived the snapshot", data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn final record (crash mid-append) is dropped; earlier
+	// records still replay, and the next append repairs the tail.
+	if err := s.AppendTenantChange([]byte(`{"op":"put","id":"c"}`)); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "tenants", "changes.jsonl")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","i`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got = nil
+	if err := s.ReplayTenantChanges(func(data []byte) error {
+		got = append(got, string(data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != `{"op":"put","id":"c"}` {
+		t.Fatalf("replay with torn tail = %v", got)
+	}
+	if err := s.AppendTenantChange([]byte(`{"op":"put","id":"d"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if err := s.ReplayTenantChanges(func(data []byte) error {
+		got = append(got, string(data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != `{"op":"put","id":"d"}` {
+		t.Fatalf("replay after tail repair = %v", got)
+	}
+
+	// Corruption anywhere but the tail is an error.
+	if err := os.WriteFile(logPath, []byte("not json\n"+`{"op":"put","id":"e"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayTenantChanges(func([]byte) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption replayed silently")
+	}
+
+	// Null: writes vanish, reads find nothing.
+	var n Null
+	if err := n.SaveTenantSnapshot([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.LoadTenantSnapshot(); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Null.LoadTenantSnapshot = %v, want ErrNotExist", err)
+	}
+	if err := n.AppendTenantChange([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ReplayTenantChanges(func([]byte) error {
+		t.Fatal("Null replayed a change")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,6 +43,9 @@ type DatasetMeta struct {
 	Name    string    `json:"name"`
 	KeyCol  string    `json:"key_col"`
 	Created time.Time `json:"created"`
+	// Owner is the id of the tenant the dataset belongs to ("" = the
+	// dataset was created in open mode and belongs to no tenant).
+	Owner string `json:"owner,omitempty"`
 }
 
 // SessionMeta describes one persisted column session.
@@ -55,6 +58,9 @@ type SessionMeta struct {
 	// into the dataset snapshot; its WAL is gone and its final
 	// ReviewState is archived (LoadSessionState).
 	Compacted bool `json:"compacted,omitempty"`
+	// Owner mirrors the owning dataset's Owner so a session lookup by
+	// id (FindSession) can enforce tenant visibility in one read.
+	Owner string `json:"owner,omitempty"`
 }
 
 // WALOp is the kind of one WAL record.
@@ -130,6 +136,29 @@ type Store interface {
 	// session.
 	LoadSessionState(datasetID, sessionID string) ([]byte, error)
 
+	// The tenant registry persists as one opaque snapshot plus an
+	// append-only change log replayed over it at boot, mirroring the
+	// dataset snapshot + session WAL model. The payloads are opaque
+	// bytes: the registry (internal/tenant) owns their encoding, the
+	// store only makes them durable.
+
+	// SaveTenantSnapshot atomically replaces the tenant-registry
+	// snapshot and clears the change log it subsumes. Replaying a stale
+	// log over a newer snapshot must converge (the registry's change
+	// records are whole-state puts/deletes), so the clear is
+	// best-effort.
+	SaveTenantSnapshot(data []byte) error
+	// LoadTenantSnapshot returns the latest tenant-registry snapshot
+	// (ErrNotExist when none was ever saved).
+	LoadTenantSnapshot() ([]byte, error)
+	// AppendTenantChange durably appends one change record to the
+	// tenant change log, with the same stable-storage promise as
+	// AppendWAL.
+	AppendTenantChange(data []byte) error
+	// ReplayTenantChanges streams the change log in append order. A
+	// torn final record is dropped; a missing log replays nothing.
+	ReplayTenantChanges(fn func(data []byte) error) error
+
 	// Close releases backend resources (open WAL handles). The store is
 	// unusable afterwards.
 	Close() error
@@ -160,5 +189,10 @@ func (Null) CloseWAL(string, string) error                         { return nil 
 
 func (Null) CompactSession(string, string, int, [][]string, []byte) error { return nil }
 func (Null) LoadSessionState(string, string) ([]byte, error)              { return nil, ErrNotExist }
+
+func (Null) SaveTenantSnapshot([]byte) error              { return nil }
+func (Null) LoadTenantSnapshot() ([]byte, error)          { return nil, ErrNotExist }
+func (Null) AppendTenantChange([]byte) error              { return nil }
+func (Null) ReplayTenantChanges(func([]byte) error) error { return nil }
 
 func (Null) Close() error { return nil }
