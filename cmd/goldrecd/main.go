@@ -19,6 +19,16 @@
 // the datasets. API keys never appear in the request log: credential
 // headers are not logged and the api_key query parameter is redacted.
 //
+// Observability (see docs/observability.md): every log line is
+// structured (-log-format text|json) and request-scoped lines carry the
+// request id the server also returns in the X-Request-ID header;
+// GET /metrics/prometheus exposes counters and latency histograms in
+// Prometheus text format; -debug-addr serves the same exposition plus
+// net/http/pprof on a separate listener that bypasses -auth (bind it to
+// localhost). GET /healthz is pure liveness and answers 200 as soon as
+// the listener is up; GET /readyz answers 503 until boot recovery has
+// finished replaying persisted state.
+//
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting.
 package main
@@ -29,16 +39,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
-	"net/url"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/service"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
@@ -61,9 +72,10 @@ func main() {
 }
 
 // run is the testable daemon body: it parses args with its own FlagSet,
-// builds the store and service, recovers persisted state, serves until
-// ctx is canceled, then drains. If ready is non-nil it receives the
-// bound listen address once the server is accepting connections.
+// builds the store and service, starts serving (liveness first),
+// recovers persisted state, marks the service ready, then serves until
+// ctx is canceled and drains. If ready is non-nil it receives the bound
+// listen address once recovery has finished and /readyz answers 200.
 func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("goldrecd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -78,6 +90,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		shards       = fs.Int("shards", 0, "registry lock shards; datasets and sessions on distinct shards never contend (0 = GOMAXPROCS)")
 		auth         = fs.Bool("auth", false, "require API-key authentication and enforce per-tenant isolation, quotas and rate limits (needs -admin-key-file)")
 		adminKeyFile = fs.String("admin-key-file", "", "file holding the bootstrap admin API key for the /v1/tenants admin API (required with -auth)")
+		logFormat    = fs.String("log-format", "text", "log output format: text or json")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and /metrics/prometheus on this extra listener, bypassing -auth (bind to localhost; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -116,6 +130,17 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return fmt.Errorf("%w: -admin-key-file requires -auth", errUsage)
 	}
 
+	var format obs.LogFormat
+	switch *logFormat {
+	case "text":
+		format = obs.LogText
+	case "json":
+		format = obs.LogJSON
+	default:
+		fs.Usage()
+		return fmt.Errorf("%w: -log-format must be text or json, got %q", errUsage, *logFormat)
+	}
+
 	adminKey := ""
 	if *auth {
 		raw, err := os.ReadFile(*adminKeyFile)
@@ -128,14 +153,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		}
 	}
 
-	logger := log.New(stderr, "goldrecd: ", log.LstdFlags)
+	logger := obs.NewLogger(stderr, format, slog.LevelInfo)
+	// The service's event log (session opened, janitor swept, ...) is
+	// printf-shaped; route it through the structured logger as plain
+	// messages.
+	logf := func(f string, args ...any) { logger.Info(fmt.Sprintf(f, args...)) }
+
+	// One registry for everything: store durability timings, service
+	// HTTP/tenant/engine metrics, all on one exposition endpoint.
+	reg := obs.NewRegistry()
 
 	var st store.Store = store.Null{}
 	if *dataDir != "" {
 		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
 			return fmt.Errorf("-data-dir %q is not a directory", *dataDir)
 		}
-		fsStore, err := store.OpenFS(*dataDir, store.FSOptions{NoSync: *noSync})
+		fsStore, err := store.OpenFS(*dataDir, store.FSOptions{NoSync: *noSync, Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("opening -data-dir: %w", err)
 		}
@@ -153,7 +186,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		if err != nil {
 			return fmt.Errorf("recovering tenants: %w", err)
 		}
-		logger.Printf("auth enabled: %d tenant(s) recovered", len(tenants.List()))
+		logger.Info("auth enabled", slog.Int("tenants_recovered", len(tenants.List())))
 	}
 
 	svcTTL := *ttl
@@ -169,32 +202,71 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Shards:         *shards,
 		Tenants:        tenants,
 		AdminKey:       adminKey,
-		Logf:           logger.Printf,
+		Logf:           logf,
+		Metrics:        reg,
+		Logger:         logger,
 	})
 	defer svc.Close()
 
-	if *dataDir != "" {
-		start := time.Now()
-		datasets, sessions, err := svc.Recover()
-		if err != nil {
-			return fmt.Errorf("recovering from %s: %w", *dataDir, err)
-		}
-		logger.Printf("recovered %d dataset(s), %d session(s) from %s in %v (%d recovery shards)",
-			datasets, sessions, *dataDir, time.Since(start).Round(time.Millisecond), svc.Shards())
-	}
-
+	// Listen before recovery: liveness (/healthz) answers as soon as the
+	// socket is up, while /readyz reports 503 until the replay below
+	// completes. Cold requests racing recovery are safe — a persistent
+	// store restores any not-yet-recovered dataset on first touch.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           logRequests(logger, svc.Handler()),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("listening on %s (ttl=%v max-sessions=%d data-dir=%q shards=%d auth=%v)", ln.Addr(), *ttl, *maxSessions, *dataDir, svc.Shards(), *auth)
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Duration("ttl", *ttl),
+		slog.Int("max_sessions", *maxSessions),
+		slog.String("data_dir", *dataDir),
+		slog.Int("shards", svc.Shards()),
+		slog.Bool("auth", *auth),
+	)
+
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics/prometheus", svc.PrometheusHandler())
+		dsrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+		logger.Info("debug listener up", slog.String("addr", dln.Addr().String()))
+	}
+
+	if *dataDir != "" {
+		start := time.Now()
+		datasets, sessions, err := svc.Recover()
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("recovering from %s: %w", *dataDir, err)
+		}
+		logger.Info("recovered",
+			slog.Int("datasets", datasets),
+			slog.Int("sessions", sessions),
+			slog.String("data_dir", *dataDir),
+			slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)),
+			slog.Int("recovery_shards", svc.Shards()),
+		)
+	}
+	svc.MarkReady()
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -204,66 +276,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return fmt.Errorf("server: %w", err)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return nil
-}
-
-// logRequests logs one line per request: method, redacted request URI,
-// status, size, duration. Credentials never reach the log: the
-// Authorization and X-API-Key headers are simply not logged, and the
-// api_key query parameter (the header-less auth fallback) is masked by
-// redactURI.
-func logRequests(logger *log.Logger, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		logger.Printf("%s %s %d %dB %v", r.Method, redactURI(r.URL), rec.status, rec.bytes, time.Since(start).Round(time.Millisecond))
-	})
-}
-
-// redactedParams are query parameters whose values are credentials.
-// ("key" is NOT one: it names the upload's key column.)
-var redactedParams = []string{"api_key", "access_token", "token"}
-
-// redactURI renders a request URL for logging with credential-bearing
-// query values masked.
-func redactURI(u *url.URL) string {
-	if u.RawQuery == "" {
-		return u.Path
-	}
-	q := u.Query()
-	changed := false
-	for _, p := range redactedParams {
-		if _, ok := q[p]; ok {
-			q.Set(p, "REDACTED")
-			changed = true
-		}
-	}
-	if !changed {
-		return u.Path + "?" + u.RawQuery
-	}
-	return u.Path + "?" + q.Encode()
-}
-
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (r *statusRecorder) WriteHeader(status int) {
-	r.status = status
-	r.ResponseWriter.WriteHeader(status)
-}
-
-func (r *statusRecorder) Write(p []byte) (int, error) {
-	n, err := r.ResponseWriter.Write(p)
-	r.bytes += n
-	return n, err
 }

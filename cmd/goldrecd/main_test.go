@@ -1,16 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"io"
+	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -36,6 +38,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-prefetch", "-2"},
 		{"-auth"},                        // -auth without -admin-key-file
 		{"-admin-key-file", "/dev/null"}, // -admin-key-file without -auth
+		{"-log-format", "xml"},
 	} {
 		if err := run(ctx, bad, io.Discard, nil); !errors.Is(err, errUsage) {
 			t.Errorf("%v: err = %v, want errUsage", bad, err)
@@ -62,28 +65,158 @@ func TestAdminKeyFileValidation(t *testing.T) {
 	}
 }
 
-// TestRedactURI: credential-bearing query parameters never reach the
-// request log; ordinary parameters (including the CSV key column
-// selector, also named "key") are logged untouched.
-func TestRedactURI(t *testing.T) {
-	cases := []struct{ in, want string }{
-		{"/v1/datasets", "/v1/datasets"},
-		{"/v1/datasets?name=x&key=id", "/v1/datasets?name=x&key=id"},
-		{"/v1/plan?budget=5&api_key=grk_secret123", "/v1/plan?api_key=REDACTED&budget=5"},
-		{"/v1/plan?token=sekrit", "/v1/plan?token=REDACTED"},
-		{"/v1/plan?access_token=sekrit&x=1", "/v1/plan?access_token=REDACTED&x=1"},
+// syncBuffer is a goroutine-safe log sink: the daemon's request logger
+// writes from handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon to
+// bind. A tiny race with other tests exists; acceptable here.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		u, err := url.Parse(c.in)
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunObservability boots the daemon with JSON logs and a debug
+// listener, then checks the observability surface end to end: /readyz,
+// X-Request-ID assignment and propagation, request ids in error bodies,
+// Prometheus exposition and pprof on the debug port, and — the
+// redaction audit — that credentials passed via api_key never reach the
+// log while request ids do.
+func TestRunObservability(t *testing.T) {
+	debugAddr := freePort(t)
+	logs := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(), "-ttl", "0",
+			"-log-format", "json", "-debug-addr", debugAddr,
+		}, logs, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	// Ready after recovery: 200.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status = %d, want 200", resp.StatusCode)
+	}
+
+	// The server assigns a request id and returns it in the header; a
+	// credential-bearing query must only ever appear redacted in logs.
+	resp, err = http.Get(base + "/v1/plan?budget=5&api_key=grk_supersekrit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "req_") {
+		t.Errorf("X-Request-ID = %q, want req_ prefix", got)
+	}
+
+	// A well-formed inbound id is propagated, and error bodies echo it.
+	req, _ := http.NewRequest("GET", base+"/v1/plan", nil) // missing budget → 400
+	req.Header.Set("X-Request-ID", "trace-abc.123")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plan without budget: status %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-ID") != "trace-abc.123" {
+		t.Errorf("inbound request id not propagated: %q", resp.Header.Get("X-Request-ID"))
+	}
+	if !strings.Contains(string(body), `"request_id": "trace-abc.123"`) {
+		t.Errorf("error body lacks request_id: %s", body)
+	}
+
+	// Debug listener: exposition parses-ish and pprof answers.
+	dbase := "http://" + debugAddr
+	resp, err = http.Get(dbase + "/metrics/prometheus")
+	if err != nil {
+		t.Fatalf("debug exposition: %v", err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug exposition status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE goldrec_http_requests_total counter",
+		`goldrec_http_request_seconds_bucket{route="/v1/plan",le="+Inf"}`,
+		"goldrec_tenant_requests_total",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	resp, err = http.Get(dbase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("shutdown: %v", err)
 		}
-		if got := redactURI(u); got != c.want {
-			t.Errorf("redactURI(%q) = %q, want %q", c.in, got, c.want)
-		}
-		if strings.Contains(redactURI(u), "secret") || strings.Contains(redactURI(u), "sekrit") {
-			t.Errorf("redactURI(%q) leaks a credential", c.in)
-		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+
+	// Redaction audit on the captured JSON log.
+	out := logs.String()
+	if strings.Contains(out, "grk_supersekrit") {
+		t.Error("raw api_key credential leaked into the log")
+	}
+	if !strings.Contains(out, "api_key=REDACTED") {
+		t.Error("log lacks the redacted api_key marker")
+	}
+	if !strings.Contains(out, `"request_id":"req_`) {
+		t.Error("request log lines lack generated request ids")
+	}
+	if !strings.Contains(out, `"request_id":"trace-abc.123"`) {
+		t.Error("request log lines lack the propagated request id")
 	}
 }
 

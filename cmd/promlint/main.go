@@ -1,0 +1,44 @@
+// Command promlint validates Prometheus text exposition read from
+// stdin (or the files named as arguments) against the same parser the
+// repo's golden tests use: metric and label syntax, escape sequences,
+// HELP/TYPE placement, histogram bucket ordering and cumulativity.
+//
+//	curl -fsS localhost:6060/metrics/prometheus | promlint
+//
+// Exits 0 and prints the sample count on success; exits 1 with the
+// first violation otherwise. CI pipes the live daemon's exposition
+// through it so a malformed metric fails the build, not the scrape.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/goldrec/goldrec/internal/obs"
+)
+
+func main() {
+	if len(os.Args) <= 1 {
+		lint("stdin", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		lint(path, f)
+		f.Close()
+	}
+}
+
+func lint(name string, r io.Reader) {
+	n, err := obs.ParseExposition(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d samples OK\n", name, n)
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/goldrec/goldrec/internal/dsl"
 	"github.com/goldrec/goldrec/internal/tgraph"
@@ -77,11 +79,58 @@ type Engine struct {
 	globalFreq map[string]int
 	units      *unitHeap
 	skipped    int
+
+	// Phase timings in nanoseconds, accumulated atomically so the
+	// parallel AllGroups path can contribute from worker goroutines.
+	// With Parallel enabled, build/search sum CPU time across workers
+	// and can exceed wall clock.
+	prepNanos   atomic.Int64
+	buildNanos  atomic.Int64
+	searchNanos atomic.Int64
+}
+
+// Timings reports cumulative time spent in each engine phase: context
+// preparation (structure split and frequency maps in NewEngine), graph
+// build (tgraph construction and indexing in Context.Prepare), and
+// group search (pivot path search and group assembly).
+type Timings struct {
+	ContextPrep time.Duration
+	GraphBuild  time.Duration
+	GroupSearch time.Duration
+}
+
+// Timings returns the engine's accumulated phase timings.
+func (e *Engine) Timings() Timings {
+	return Timings{
+		ContextPrep: time.Duration(e.prepNanos.Load()),
+		GraphBuild:  time.Duration(e.buildNanos.Load()),
+		GroupSearch: time.Duration(e.searchNanos.Load()),
+	}
+}
+
+// GraphStats sums the sizes of every transformation graph built so far
+// (unprepared contexts contribute nothing — graphs build lazily in the
+// incremental algorithm). Not safe concurrently with AllGroups.
+func (e *Engine) GraphStats() tgraph.Stats {
+	var total tgraph.Stats
+	for _, c := range e.ctxs {
+		if !c.Prepared() {
+			continue
+		}
+		for _, g := range c.Graphs {
+			s := g.Stats()
+			total.Nodes += s.Nodes
+			total.Edges += s.Edges
+			total.Labels += s.Labels
+		}
+	}
+	return total
 }
 
 // NewEngine builds the engine over a set of candidate replacements. Ext
 // ids must be unique.
 func NewEngine(reps []Rep, opts Options) *Engine {
+	start := time.Now()
 	if opts.MaxConstLen <= 0 {
 		opts.MaxConstLen = defaultMaxConstLen
 	}
@@ -109,6 +158,7 @@ func NewEngine(reps []Rep, opts Options) *Engine {
 	for ci, c := range e.ctxs {
 		heap.Push(e.units, unit{ctx: ci, gi: -1, up: c.AliveCount()})
 	}
+	e.prepNanos.Store(time.Since(start).Nanoseconds())
 	return e
 }
 
@@ -153,7 +203,9 @@ func (e *Engine) prepare(c *Context) {
 		return
 	}
 	before := c.AliveCount()
+	start := time.Now()
 	c.Prepare(e.graphOptions(c))
+	e.buildNanos.Add(time.Since(start).Nanoseconds())
 	e.skipped += before - c.AliveCount()
 }
 
@@ -192,12 +244,17 @@ func (e *Engine) AllGroups(mode Mode) []*Group {
 			defer func() { <-sem; wg.Done() }()
 			if !c.Prepared() {
 				before := c.AliveCount()
+				start := time.Now()
 				c.Prepare(e.graphOptions(c))
+				e.buildNanos.Add(time.Since(start).Nanoseconds())
 				mu.Lock()
 				skippedDelta += before - c.AliveCount()
 				mu.Unlock()
 			}
-			results[ci] = ctxGroups{ci: ci, groups: e.groupContext(c, mode)}
+			start := time.Now()
+			groups := e.groupContext(c, mode)
+			e.searchNanos.Add(time.Since(start).Nanoseconds())
+			results[ci] = ctxGroups{ci: ci, groups: groups}
 		}(ci, c)
 	}
 	wg.Wait()
@@ -388,6 +445,14 @@ func (e *Engine) validatedTau() (tau int, ctx *Context, gi int) {
 // largest remaining replacement group and removes its members from
 // future consideration. It returns nil when no replacements remain.
 func (e *Engine) NextGroup() *Group {
+	start := time.Now()
+	buildBefore := e.buildNanos.Load()
+	defer func() {
+		// Graph builds triggered lazily inside this call are already
+		// accounted to the build phase; the remainder is search.
+		buildDelta := e.buildNanos.Load() - buildBefore
+		e.searchNanos.Add(time.Since(start).Nanoseconds() - buildDelta)
+	}()
 	tau, tauCtx, tauGi := e.validatedTau()
 	var best searchResult
 	var bestCtx *Context

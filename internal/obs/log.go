@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/url"
+	"strings"
+)
+
+// RequestInfo is the per-request context attached to every log line
+// emitted while handling an HTTP request: the generated (or propagated)
+// X-Request-ID, the authenticated tenant, and the normalized route.
+type RequestInfo struct {
+	ID     string
+	Tenant string
+	Route  string
+}
+
+type requestInfoKey struct{}
+
+// WithRequest returns a context carrying info; every slog record
+// written through a logger from NewLogger while that context is active
+// gains request_id / tenant / route attributes.
+func WithRequest(ctx context.Context, info RequestInfo) context.Context {
+	return context.WithValue(ctx, requestInfoKey{}, info)
+}
+
+// RequestFrom returns the RequestInfo stored by WithRequest, if any.
+func RequestFrom(ctx context.Context) (RequestInfo, bool) {
+	info, ok := ctx.Value(requestInfoKey{}).(RequestInfo)
+	return info, ok
+}
+
+// LogFormat selects the slog handler encoding.
+type LogFormat string
+
+const (
+	LogText LogFormat = "text"
+	LogJSON LogFormat = "json"
+)
+
+// NewLogger builds a structured logger writing to w in the given
+// format ("json" gets a JSON handler, anything else text), wrapped so
+// that request-scoped attributes from WithRequest are injected into
+// every record logged with a request context.
+func NewLogger(w io.Writer, format LogFormat, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == LogJSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(&ctxHandler{inner: h})
+}
+
+// ctxHandler injects RequestInfo attributes from the record's context.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h *ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if info, ok := RequestFrom(ctx); ok {
+		if info.ID != "" {
+			rec.AddAttrs(slog.String("request_id", info.ID))
+		}
+		if info.Tenant != "" {
+			rec.AddAttrs(slog.String("tenant", info.Tenant))
+		}
+		if info.Route != "" {
+			rec.AddAttrs(slog.String("route", info.Route))
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// redactedParams are query parameters whose values must never reach a
+// log line. Keep in sync with the credential sources accepted by the
+// service auth middleware.
+var redactedParams = []string{"api_key", "access_token", "token"}
+
+// RedactURI returns the request URI with credential-bearing query
+// parameter values replaced by REDACTED. The path and other params are
+// preserved so log lines stay debuggable.
+func RedactURI(uri string) string {
+	// Fast path: no query, or a query that cannot name a credential
+	// param — no '%' (which could percent-encode a param name past a
+	// substring check) and no occurrence of the param names themselves
+	// ("token" also covers "access_token").
+	i := strings.IndexByte(uri, '?')
+	if i < 0 {
+		return uri
+	}
+	if raw := uri[i+1:]; !strings.Contains(raw, "%") && !strings.Contains(raw, "token") && !strings.Contains(raw, "api_key") {
+		return uri
+	}
+	u, err := url.Parse(uri)
+	if err != nil {
+		return "/"
+	}
+	q := u.Query()
+	changed := false
+	for _, p := range redactedParams {
+		if q.Has(p) {
+			q.Set(p, "REDACTED")
+			changed = true
+		}
+	}
+	if changed {
+		u.RawQuery = q.Encode()
+	}
+	return u.RequestURI()
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerInjectsRequestContext(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, LogJSON, slog.LevelInfo)
+	ctx := WithRequest(context.Background(), RequestInfo{
+		ID: "req_123", Tenant: "acme", Route: "POST /v1/sessions/{id}/decide",
+	})
+	log.InfoContext(ctx, "request", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"request_id": "req_123",
+		"tenant":     "acme",
+		"route":      "POST /v1/sessions/{id}/decide",
+		"msg":        "request",
+	} {
+		if got, _ := rec[k].(string); got != want {
+			t.Errorf("%s = %q, want %q", k, got, want)
+		}
+	}
+	if got, _ := rec["status"].(float64); got != 200 {
+		t.Errorf("status = %v, want 200", rec["status"])
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, LogText, slog.LevelInfo)
+	ctx := WithRequest(context.Background(), RequestInfo{ID: "req_9"})
+	log.InfoContext(ctx, "hello")
+	out := buf.String()
+	if !strings.Contains(out, "request_id=req_9") {
+		t.Errorf("text output missing request_id: %q", out)
+	}
+	if strings.Contains(out, "tenant=") || strings.Contains(out, "route=") {
+		t.Errorf("empty fields should be omitted: %q", out)
+	}
+}
+
+func TestLoggerWithoutRequestContext(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, LogJSON, slog.LevelInfo)
+	log.Info("plain")
+	if strings.Contains(buf.String(), "request_id") {
+		t.Errorf("unexpected request_id without context: %q", buf.String())
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, LogText, slog.LevelInfo)
+	log.Debug("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("debug line not filtered: %q", buf.String())
+	}
+}
+
+func TestRedactURI(t *testing.T) {
+	cases := map[string]struct{ in, wantSub, absent string }{
+		"api_key":      {"/v1/datasets?api_key=secret123", "api_key=REDACTED", "secret123"},
+		"access_token": {"/v1/metrics?access_token=sekrit", "access_token=REDACTED", "sekrit"},
+		"token":        {"/x?token=abc&other=keep", "other=keep", "abc"},
+		"clean":        {"/v1/datasets/ds_1", "/v1/datasets/ds_1", ""},
+	}
+	for name, c := range cases {
+		got := RedactURI(c.in)
+		if !strings.Contains(got, c.wantSub) {
+			t.Errorf("%s: RedactURI(%q) = %q, missing %q", name, c.in, got, c.wantSub)
+		}
+		if c.absent != "" && strings.Contains(got, c.absent) {
+			t.Errorf("%s: RedactURI(%q) = %q leaked %q", name, c.in, got, c.absent)
+		}
+	}
+	// An unparseable URI that might carry a credential collapses to "/"
+	// rather than logging the raw string.
+	if got := RedactURI("://bad?api_key=oops"); got != "/" {
+		t.Errorf("unparseable URI = %q, want /", got)
+	}
+	// A percent sign in the query forces the full parse so an encoded
+	// param name cannot slip past the substring fast path.
+	if got := RedactURI("/x?%61pi_key=sneaky"); strings.Contains(got, "sneaky") {
+		t.Errorf("encoded api_key leaked: %q", got)
+	}
+}

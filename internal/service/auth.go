@@ -1,7 +1,6 @@
 package service
 
 import (
-	"context"
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/json"
@@ -77,28 +76,6 @@ func (s *Service) authenticate(r *http.Request) (principal, error) {
 	return principal{}, fmt.Errorf("%w: invalid API key", ErrUnauthorized)
 }
 
-// instrument is the outermost HTTP layer: it authenticates the request
-// when multi-tenancy is on (the liveness probe stays open) and
-// attributes the request to its tenant in the metrics. Unauthenticated
-// rejections never reach the mux.
-func (s *Service) instrument(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var p principal
-		if s.opts.Tenants != nil && r.URL.Path != "/healthz" {
-			var err error
-			p, err = s.authenticate(r)
-			if err != nil {
-				s.metrics.counters("").requests.Add(1)
-				writeError(w, err)
-				return
-			}
-			r = r.WithContext(context.WithValue(r.Context(), principalCtxKey{}, p))
-		}
-		s.metrics.counters(p.tenant).requests.Add(1)
-		next.ServeHTTP(w, r)
-	})
-}
-
 // requireAdmin guards the admin-only endpoints. Open mode has no
 // tenants to administer, so the question only arises with auth on.
 func (s *Service) requireAdmin(r *http.Request) error {
@@ -154,7 +131,14 @@ func (s *Service) registerTenantAPI(mux *http.ServeMux) {
 		respond(w, info, mapTenantErr(err))
 	}))
 	mux.HandleFunc("DELETE /v1/tenants/{id}", s.adminOnly(func(w http.ResponseWriter, r *http.Request) {
-		respondNoContent(w, mapTenantErr(s.opts.Tenants.Delete(r.PathValue("id"))))
+		id := r.PathValue("id")
+		err := mapTenantErr(s.opts.Tenants.Delete(id))
+		if err == nil {
+			// Retire the tenant's counter series so deleted tenants do not
+			// leak metric cardinality forever.
+			s.metrics.dropTenant(id)
+		}
+		respondNoContent(w, err)
 	}))
 	mux.HandleFunc("POST /v1/tenants/{id}/keys", s.adminOnly(s.handleRotateKey))
 	mux.HandleFunc("PUT /v1/tenants/{id}/quotas", s.adminOnly(s.handleSetQuotas))

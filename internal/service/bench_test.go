@@ -3,6 +3,8 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
 )
@@ -531,6 +534,58 @@ func BenchmarkAuthMiddleware(b *testing.B) {
 			b.Fatal(err)
 		}
 		run(b, svc, key, ds.ID)
+	})
+}
+
+// BenchmarkObsOverhead prices the observability layer itself: the same
+// hot HTTP decide path (full middleware + validation, rejected as a
+// conflict so the stream never drains) with instrumentation fully on —
+// live registry plus a JSON request logger writing to io.Discard — and
+// fully off (noop registry, no logger). The on/off delta is the
+// per-request cost of request-id generation, route normalization, the
+// counter bumps, the latency histogram and the structured log line.
+// The instrumented leg joins the CI gate like the other hot paths.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, opts Options) {
+		defer raiseProcs(benchProcs)()
+		opts.Prefetch = 2
+		svc := New(opts)
+		defer svc.Close()
+		ds, err := svc.CreateDataset("bench", "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := svc.OpenSession(ds.ID, "Name")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gid, err := benchFirstGroup(svc, sess.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Decide(sess.ID, gid, goldrec.Rejected); err != nil {
+			b.Fatal(err)
+		}
+		h := svc.Handler()
+		path := "/v1/sessions/" + sess.ID + "/decisions"
+		body := fmt.Sprintf(`{"group_id":%d,"decision":"approve"}`, gid)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest("POST", path, strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusConflict {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+				}
+			}
+		})
+	}
+	b.Run("on", func(b *testing.B) {
+		run(b, Options{Logger: obs.NewLogger(io.Discard, obs.LogJSON, slog.LevelInfo)})
+	})
+	b.Run("off", func(b *testing.B) {
+		run(b, Options{Metrics: obs.Noop()})
 	})
 }
 

@@ -47,9 +47,20 @@ const maxWait = 25 * time.Second
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Pure liveness: answers 200 whenever the process serves HTTP,
+		// even before recovery finishes. Readiness is /readyz.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prometheus", s.handlePrometheus)
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.scope(r).ListDatasets()})
@@ -137,7 +148,7 @@ func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	counted := &countingReader{r: body}
 	info, err := sc.CreateDataset(q.Get("name"), q.Get("key"), q.Get("source"), counted)
-	s.metrics.counters(sc.Owner()).uploadBytes.Add(counted.n)
+	s.metrics.addUploadBytes(sc.Owner(), counted.n)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -266,7 +277,14 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &tooLarge):
 		status = http.StatusRequestEntityTooLarge
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	// The middleware stamps X-Request-ID on the response before the
+	// handler runs; echoing it in the body lets clients quote one id
+	// when reporting a failure.
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

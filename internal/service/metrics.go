@@ -2,53 +2,112 @@ package service
 
 import (
 	"net/http"
-	"sync"
-	"sync/atomic"
+	"strings"
+
+	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/obs"
 )
 
 // anonTenant is the metrics bucket for unscoped traffic: open-mode
 // callers, the admin key, and unauthenticated (rejected) requests.
 const anonTenant = "anonymous"
 
-// serviceMetrics aggregates per-tenant request accounting plus registry
-// occupancy for GET /v1/metrics. Counter bumps are two atomic ops on
-// the hot path (one map read under RLock, one Add); the exclusive lock
-// is only taken the first time a tenant appears.
+// serviceMetrics is the service's slice of the shared obs registry:
+// per-tenant accounting counters (the PR 5 counters, migrated), HTTP
+// per-route/per-status counts and latency histograms, engine-phase
+// timings, and the upload→first-group latency. Counter bumps stay two
+// atomic ops on the hot path (one map read under RLock inside obs, one
+// Add); the registry's exclusive lock is only taken the first time a
+// label combination appears.
 type serviceMetrics struct {
-	mu      sync.RWMutex
-	tenants map[string]*tenantCounters
+	reg *obs.Registry
+
+	// Per-tenant accounting, one series per tenant id.
+	requests    *obs.Vec
+	decisions   *obs.Vec
+	uploadBytes *obs.Vec
+	rateLimited *obs.Vec
+
+	// HTTP layer.
+	httpRequests *obs.Vec // counter: route, method, status
+	httpLatency  *obs.Vec // histogram: route
+
+	// Engine phases, observed as per-NextGroup deltas, plus the
+	// session-open→first-group latency.
+	enginePhase *obs.Vec // histogram: phase
+	firstGroup  *obs.Histogram
+
+	// Registry occupancy, refreshed on scrape.
+	registryEntries *obs.Vec // gauge: kind
 }
 
-type tenantCounters struct {
-	requests    atomic.Int64
-	decisions   atomic.Int64
-	uploadBytes atomic.Int64
-	rateLimited atomic.Int64
+// phaseBuckets resolve engine work from sub-millisecond group searches
+// to multi-second graph builds on large uploads.
+var phaseBuckets = []float64{0.0005, 0.002, 0.008, 0.032, 0.128, 0.512, 2.048, 8.192, 32.768}
+
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		reg: reg,
+		requests: reg.NewCounter("goldrec_tenant_requests_total",
+			"HTTP requests attributed to the tenant (including rejected ones).", "tenant"),
+		decisions: reg.NewCounter("goldrec_tenant_decisions_total",
+			"Acknowledged reviewer decisions on the tenant's sessions.", "tenant"),
+		uploadBytes: reg.NewCounter("goldrec_tenant_upload_bytes_total",
+			"Dataset-upload body bytes consumed.", "tenant"),
+		rateLimited: reg.NewCounter("goldrec_tenant_rate_limited_total",
+			"Decisions refused with 429.", "tenant"),
+		httpRequests: reg.NewCounter("goldrec_http_requests_total",
+			"HTTP requests by normalized route, method and status.", "route", "method", "status"),
+		httpLatency: reg.NewHistogram("goldrec_http_request_seconds",
+			"HTTP request latency by normalized route.", nil, "route"),
+		enginePhase: reg.NewHistogram("goldrec_engine_phase_seconds",
+			"Engine time per phase, observed as per-group-generation deltas.", phaseBuckets, "phase"),
+		firstGroup: reg.NewHistogram("goldrec_session_first_group_seconds",
+			"Latency from session open to the first group becoming available.", phaseBuckets).Histogram(),
+		registryEntries: reg.NewGauge("goldrec_registry_entries",
+			"Live registry entries by kind, refreshed on scrape.", "kind"),
+	}
 }
 
-func newServiceMetrics() *serviceMetrics {
-	return &serviceMetrics{tenants: make(map[string]*tenantCounters)}
-}
-
-// counters returns the tenant's counter block, creating it on first
-// use. The empty owner maps to the anonymous bucket.
-func (m *serviceMetrics) counters(owner string) *tenantCounters {
+// tenantLabel maps the empty owner to the anonymous bucket.
+func tenantLabel(owner string) string {
 	if owner == "" {
-		owner = anonTenant
+		return anonTenant
 	}
-	m.mu.RLock()
-	c, ok := m.tenants[owner]
-	m.mu.RUnlock()
-	if ok {
-		return c
+	return owner
+}
+
+func (m *serviceMetrics) bumpRequests(owner string)  { m.requests.Counter(tenantLabel(owner)).Inc() }
+func (m *serviceMetrics) bumpDecisions(owner string) { m.decisions.Counter(tenantLabel(owner)).Inc() }
+func (m *serviceMetrics) bumpRateLimited(owner string) {
+	m.rateLimited.Counter(tenantLabel(owner)).Inc()
+}
+func (m *serviceMetrics) addUploadBytes(owner string, n int64) {
+	if n > 0 {
+		m.uploadBytes.Counter(tenantLabel(owner)).Add(n)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c, ok = m.tenants[owner]; !ok {
-		c = &tenantCounters{}
-		m.tenants[owner] = c
+}
+
+// dropTenant retires a deleted tenant's counter series so tenant churn
+// cannot grow the label space without bound.
+func (m *serviceMetrics) dropTenant(id string) {
+	for _, vec := range []*obs.Vec{m.requests, m.decisions, m.uploadBytes, m.rateLimited} {
+		vec.Delete(id)
 	}
-	return c
+}
+
+// observePhases records the engine work one NextGroup call performed:
+// the positive per-phase deltas between two Timings snapshots.
+func (m *serviceMetrics) observePhases(before, after goldrec.PhaseTimings) {
+	if d := after.ContextPrep - before.ContextPrep; d > 0 {
+		m.enginePhase.Histogram("context_prep").ObserveDuration(d)
+	}
+	if d := after.GraphBuild - before.GraphBuild; d > 0 {
+		m.enginePhase.Histogram("graph_build").ObserveDuration(d)
+	}
+	if d := after.GroupSearch - before.GroupSearch; d > 0 {
+		m.enginePhase.Histogram("group_search").ObserveDuration(d)
+	}
 }
 
 // TenantMetrics is one tenant's slice of GET /v1/metrics.
@@ -67,7 +126,8 @@ type TenantMetrics struct {
 
 // MetricsInfo is the GET /v1/metrics document: per-tenant counters plus
 // registry occupancy, shard by shard (the load-balance view the
-// sharding design is supposed to keep flat).
+// sharding design is supposed to keep flat), and summaries of every
+// latency histogram the service records.
 type MetricsInfo struct {
 	Tenants map[string]TenantMetrics `json:"tenants"`
 	// Datasets and Sessions count live registry entries.
@@ -77,11 +137,16 @@ type MetricsInfo struct {
 	// shard order.
 	DatasetShards []int `json:"dataset_shards"`
 	SessionShards []int `json:"session_shards"`
+	// Histograms summarizes every histogram family, keyed by
+	// "name{label=value,...}" ("name" when unlabeled). Full bucket data
+	// is on /metrics/prometheus.
+	Histograms map[string]obs.HistogramSummary `json:"histograms,omitempty"`
 }
 
 // metricsSnapshot assembles the metrics document. A tenant-scoped
-// caller (owner != "") sees only its own counters; registry occupancy
-// is shard cardinality, not ids, so it is safe to share.
+// caller (owner != "") sees only its own counters and no global
+// histograms; registry occupancy is shard cardinality, not ids, so it
+// is safe to share.
 func (s *Service) metricsSnapshot(owner string) MetricsInfo {
 	out := MetricsInfo{
 		Tenants:       make(map[string]TenantMetrics),
@@ -94,20 +159,51 @@ func (s *Service) metricsSnapshot(owner string) MetricsInfo {
 	for _, n := range out.SessionShards {
 		out.Sessions += n
 	}
-	s.metrics.mu.RLock()
-	defer s.metrics.mu.RUnlock()
-	for id, c := range s.metrics.tenants {
-		if owner != "" && id != owner {
+	tenantFields := map[string]func(*TenantMetrics) *int64{
+		"goldrec_tenant_requests_total":     func(t *TenantMetrics) *int64 { return &t.Requests },
+		"goldrec_tenant_decisions_total":    func(t *TenantMetrics) *int64 { return &t.Decisions },
+		"goldrec_tenant_upload_bytes_total": func(t *TenantMetrics) *int64 { return &t.UploadBytes },
+		"goldrec_tenant_rate_limited_total": func(t *TenantMetrics) *int64 { return &t.RateLimited },
+	}
+	for _, sample := range s.metrics.reg.Snapshot() {
+		if field, ok := tenantFields[sample.Name]; ok && len(sample.Values) == 1 {
+			id := sample.Values[0]
+			if owner != "" && id != owner {
+				continue
+			}
+			t := out.Tenants[id]
+			*field(&t) = sample.Count
+			out.Tenants[id] = t
 			continue
 		}
-		out.Tenants[id] = TenantMetrics{
-			Requests:    c.requests.Load(),
-			Decisions:   c.decisions.Load(),
-			UploadBytes: c.uploadBytes.Load(),
-			RateLimited: c.rateLimited.Load(),
+		if sample.Kind == obs.KindHistogram && owner == "" {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]obs.HistogramSummary)
+			}
+			out.Histograms[histKey(sample)] = sample.Summary()
 		}
 	}
 	return out
+}
+
+// histKey renders a histogram sample's identity for the JSON document.
+func histKey(s obs.Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteByte('=')
+		b.WriteString(s.Values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // handleMetrics serves GET /v1/metrics. In open mode it is public; with
@@ -128,4 +224,38 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, s.metricsSnapshot(owner))
+}
+
+// handlePrometheus serves GET /metrics/prometheus: the shared registry
+// in text exposition format. Registry-occupancy gauges are refreshed
+// here so scrapes always see current cardinality.
+func (s *Service) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// refreshGauges updates the scrape-time gauges (registry occupancy).
+func (s *Service) refreshGauges() {
+	d, c := 0, 0
+	for _, n := range s.datasets.sizes() {
+		d += n
+	}
+	for _, n := range s.sessions.sizes() {
+		c += n
+	}
+	s.metrics.registryEntries.Gauge("datasets").Set(float64(d))
+	s.metrics.registryEntries.Gauge("sessions").Set(float64(c))
+}
+
+// Metrics returns the service's observability registry (the one passed
+// in Options.Metrics, or the private default), so embedders can mount
+// their own exposition endpoint.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
+
+// PrometheusHandler returns the exposition endpoint as a standalone
+// handler, for mounting on a separate (unauthenticated) debug listener.
+// The main API serves the same thing at /metrics/prometheus.
+func (s *Service) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(s.handlePrometheus)
 }

@@ -54,12 +54,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
 	"github.com/goldrec/goldrec/table"
@@ -130,6 +133,15 @@ type Options struct {
 	// Meaningful only with Tenants set.
 	AdminKey string
 
+	// Metrics is the observability registry the service records into
+	// (nil = a private registry, still served on /metrics/prometheus).
+	// Pass obs.Noop() to disable instrumentation entirely.
+	Metrics *obs.Registry
+	// Logger receives one structured record per HTTP request, with
+	// request id, tenant and route attached from the request context
+	// (nil = no request logging).
+	Logger *slog.Logger
+
 	// clock substitutes time in tests (nil = wall clock).
 	clock Clock
 }
@@ -142,6 +154,11 @@ type Service struct {
 	datasets *shardedRegistry[*dataset]
 	sessions *shardedRegistry[*columnSession]
 	metrics  *serviceMetrics
+	logger   *slog.Logger
+
+	// ready flips once the owner finishes startup recovery (MarkReady);
+	// /readyz serves 503 until then, while /healthz stays live.
+	ready atomic.Bool
 
 	// adminHash is the SHA-256 of Options.AdminKey; hasAdmin marks it
 	// valid (so an empty AdminKey can never authenticate).
@@ -192,13 +209,18 @@ func New(opts Options) *Service {
 	if opts.Shards <= 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Service{
 		opts:      opts,
 		store:     opts.Store,
 		clock:     opts.clock,
 		datasets:  newRegistry[*dataset]("ds", opts.Shards, opts.TTL, opts.clock),
 		sessions:  newRegistry[*columnSession]("cs", opts.Shards, opts.TTL, opts.clock),
-		metrics:   newServiceMetrics(),
+		metrics:   newServiceMetrics(reg),
+		logger:    opts.Logger,
 		restoreMu: make([]sync.Mutex, opts.Shards),
 		admitMu:   make(map[string]*sync.Mutex),
 	}
@@ -225,6 +247,14 @@ func New(opts Options) *Service {
 
 // Shards returns the registries' shard count.
 func (s *Service) Shards() int { return s.opts.Shards }
+
+// MarkReady flips /readyz to 200. The daemon calls it after Recover()
+// completes; a service that never recovers anything may call it
+// immediately after New.
+func (s *Service) MarkReady() { s.ready.Store(true) }
+
+// Ready reports whether MarkReady has been called.
+func (s *Service) Ready() bool { return s.ready.Load() }
 
 // Close stops the janitor and every session generator. In-flight HTTP
 // requests against removed sessions fail with ErrNotFound.
@@ -727,6 +757,7 @@ func (s *Service) openSession(owner, datasetID, column string) (SessionInfo, err
 // log always describes a prefix of the in-memory state.
 func (cs *columnSession) run(s *Service) {
 	logf := s.opts.Logf
+	openedAt := time.Now()
 	sess, err := cs.d.cons.ColumnIndex(cs.col)
 	if err != nil {
 		// Unreachable in practice: the column index was validated at
@@ -763,6 +794,12 @@ func (cs *columnSession) run(s *Service) {
 	cs.sess = sess
 	cs.pending = restored
 	cs.cond.Broadcast()
+	// Phase accounting: the engine accumulates per-phase nanoseconds;
+	// the service observes the deltas each NextGroup produced. The first
+	// observation also carries context prep (and replay work on resume).
+	lastTimings := sess.Timings()
+	s.metrics.observePhases(goldrec.PhaseTimings{}, lastTimings)
+	firstGroupSeen := cs.resume // resumed sessions already had groups
 	if cs.resume {
 		logf("session %s: restored (%d group(s) issued, %d pending)",
 			cs.id, sess.Stats().GroupsSeen, len(restored))
@@ -780,6 +817,9 @@ func (cs *columnSession) run(s *Service) {
 		// state, which Decide (Apply path) also touches. The buffer
 		// means the reviewer still mostly hits ready groups.
 		g, ok := sess.NextGroup()
+		now := sess.Timings()
+		s.metrics.observePhases(lastTimings, now)
+		lastTimings = now
 		if !ok {
 			cs.exhausted = true
 			cs.cond.Broadcast()
@@ -803,6 +843,10 @@ func (cs *columnSession) run(s *Service) {
 			return
 		}
 		cs.pending = append(cs.pending, g)
+		if !firstGroupSeen {
+			firstGroupSeen = true
+			s.metrics.firstGroup.ObserveSince(openedAt)
+		}
 		cs.cond.Broadcast()
 	}
 }
@@ -1069,6 +1113,7 @@ func (cs *columnSession) info() SessionInfo {
 	switch {
 	case cs.sess != nil:
 		info.Stats = cs.sess.Stats()
+		info.Timings = cs.sess.Timings()
 	case cs.archived != nil:
 		info.Stats = cs.archived.Stats
 	}
@@ -1188,7 +1233,7 @@ func (s *Service) decide(owner, id string, groupID int, decision goldrec.Decisio
 	}
 	if owner != "" && s.opts.Tenants != nil {
 		if ok, retry := s.opts.Tenants.AllowDecision(owner); !ok {
-			s.metrics.counters(owner).rateLimited.Add(1)
+			s.metrics.bumpRateLimited(owner)
 			return DecisionResult{}, &RateLimitError{RetryAfter: retry}
 		}
 	}
@@ -1258,7 +1303,7 @@ func (s *Service) decide(owner, id string, groupID int, decision goldrec.Decisio
 	// Acknowledged decisions are metered against the session's owner
 	// (the tenant whose review budget is being spent), so an admin
 	// reviewing on a tenant's behalf still shows up on that tenant.
-	s.metrics.counters(cs.owner).decisions.Add(1)
+	s.metrics.bumpDecisions(cs.owner)
 	s.maybeCompactLocked(cs)
 	return res, nil
 }

@@ -48,6 +48,11 @@ type SessionInfo struct {
 	Status    string               `json:"status"`
 	Pending   int                  `json:"pending"`
 	Stats     goldrec.SessionStats `json:"stats"`
+	// Timings breaks the engine's cumulative work on this session into
+	// phases (context prep, graph build, group search), in nanoseconds.
+	// Zero until candidate generation finishes; omitted for archived
+	// (compacted) sessions, whose engine no longer exists.
+	Timings goldrec.PhaseTimings `json:"timings"`
 }
 
 // GroupPage is one page of undecided groups. Each group carries its

@@ -13,7 +13,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/table"
 )
 
@@ -26,7 +28,16 @@ type FSOptions struct {
 	// rare, whole-file writes whose loss would cost far more than one
 	// log record.
 	NoSync bool
+	// Metrics receives durability-path latency histograms (WAL append
+	// write and fsync, snapshot writes, WAL replay). Nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 }
+
+// walBuckets resolve the WAL hot path: the write syscall is tens of
+// microseconds, a disk fsync hundreds of microseconds to tens of
+// milliseconds.
+var walBuckets = []float64{0.000025, 0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096}
 
 // FS is the filesystem backend. The layout under the root is one
 // directory per dataset holding its meta, versioned snapshots, and one
@@ -66,6 +77,13 @@ type FS struct {
 	// the same next snapshot version and one session's fold would be
 	// silently overwritten.
 	dsMu map[string]*sync.Mutex
+
+	// Durability-path histograms (nil handles no-op when FSOptions.Metrics
+	// is unset).
+	walAppend *obs.Histogram
+	walFsync  *obs.Histogram
+	snapWrite *obs.Histogram
+	walReplay *obs.Histogram
 }
 
 // datasetLock returns the dataset's snapshot-writer mutex.
@@ -93,7 +111,20 @@ func OpenFS(dir string, opts FSOptions) (*FS, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "datasets"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	return &FS{root: dir, opts: opts, wals: make(map[string]*os.File)}, nil
+	m := opts.Metrics
+	return &FS{
+		root: dir,
+		opts: opts,
+		wals: make(map[string]*os.File),
+		walAppend: m.NewHistogram("goldrec_store_wal_append_seconds",
+			"WAL record write latency (the write syscall, excluding fsync).", walBuckets).Histogram(),
+		walFsync: m.NewHistogram("goldrec_store_wal_fsync_seconds",
+			"WAL fsync latency (absent under -store-nosync).", walBuckets).Histogram(),
+		snapWrite: m.NewHistogram("goldrec_store_snapshot_write_seconds",
+			"Dataset snapshot write latency (marshal excluded, fsync+rename included).", nil).Histogram(),
+		walReplay: m.NewHistogram("goldrec_store_wal_replay_seconds",
+			"Per-session WAL replay latency during recovery or restore.", nil).Histogram(),
+	}, nil
 }
 
 // Root returns the store's root directory.
@@ -266,9 +297,11 @@ func (s *FS) PutDataset(meta DatasetMeta, ds *table.Dataset) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := s.writeFileAtomic(snapshotPath(dir, 1), snapJSON); err != nil {
 		return fmt.Errorf("store: dataset %s snapshot: %w", meta.ID, err)
 	}
+	s.snapWrite.ObserveSince(start)
 	if err := s.writeFileAtomic(filepath.Join(dir, "meta.json"), metaJSON); err != nil {
 		return fmt.Errorf("store: dataset %s meta: %w", meta.ID, err)
 	}
@@ -540,13 +573,17 @@ func (s *FS) AppendWAL(datasetID, sessionID string, rec WALRecord) error {
 	// A single short write keeps the torn-tail window to one record;
 	// O_APPEND makes concurrent appends to *different* sessions safe and
 	// the per-session caller already serializes same-session appends.
+	start := time.Now()
 	if _, err := f.Write(line); err != nil {
 		return fmt.Errorf("store: session %s wal append: %w", sessionID, err)
 	}
+	s.walAppend.ObserveSince(start)
 	if !s.opts.NoSync {
+		start = time.Now()
 		if err := f.Sync(); err != nil {
 			return fmt.Errorf("store: session %s wal sync: %w", sessionID, err)
 		}
+		s.walFsync.ObserveSince(start)
 	}
 	return nil
 }
@@ -559,6 +596,7 @@ func (s *FS) ReplayWAL(datasetID, sessionID string, fn func(WALRecord) error) er
 	if err := checkID(sessionID); err != nil {
 		return err
 	}
+	defer s.walReplay.ObserveSince(time.Now())
 	raw, err := os.ReadFile(filepath.Join(s.sessionDir(datasetID, sessionID), "wal.jsonl"))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
@@ -681,9 +719,11 @@ func (s *FS) CompactSession(datasetID, sessionID string, col int, values [][]str
 			return err
 		}
 	}
+	start := time.Now()
 	if err := s.writeFileAtomic(snapshotPath(dsDir, snap.Version), out); err != nil {
 		return err
 	}
+	s.snapWrite.ObserveSince(start)
 	os.Remove(filepath.Join(sessDir, "wal.jsonl"))
 	s.closeWAL(datasetID, sessionID)
 	if meta, err := readMeta[SessionMeta](filepath.Join(sessDir, "meta.json")); err == nil {

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/goldrec/goldrec/internal/obs"
+)
+
+// TestFSMetrics verifies the durability-path histograms fill in as the
+// store appends, syncs, snapshots and replays.
+func TestFSMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := OpenFS(filepath.Join(t.TempDir(), "store"), FSOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.PutDataset(DatasetMeta{ID: "ds_01", Name: "paper", Created: time.Now()}, testDataset()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed := 0
+	if err := s.ReplayWAL("ds_01", "cs_01", func(WALRecord) error { replayed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed %d records, want 3", replayed)
+	}
+
+	counts := map[string]int64{}
+	for _, sample := range reg.Snapshot() {
+		counts[sample.Name] = sample.Count
+	}
+	for name, want := range map[string]int64{
+		"goldrec_store_wal_append_seconds":     3,
+		"goldrec_store_wal_fsync_seconds":      3,
+		"goldrec_store_snapshot_write_seconds": 1,
+		"goldrec_store_wal_replay_seconds":     1,
+	} {
+		if counts[name] != want {
+			t.Errorf("%s count = %d, want %d", name, counts[name], want)
+		}
+	}
+}
+
+// TestFSMetricsNoSync checks fsync observations are skipped under
+// NoSync, and that a nil registry is a safe no-op.
+func TestFSMetricsNoSync(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := OpenFS(filepath.Join(t.TempDir(), "store"), FSOptions{NoSync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range reg.Snapshot() {
+		if sample.Name == "goldrec_store_wal_fsync_seconds" && sample.Count != 0 {
+			t.Errorf("fsync observed %d times under NoSync, want 0", sample.Count)
+		}
+	}
+
+	// Nil registry: same operations must not panic.
+	s2, err := OpenFS(filepath.Join(t.TempDir(), "store"), FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
+		t.Fatal(err)
+	}
+}

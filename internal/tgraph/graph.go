@@ -47,6 +47,23 @@ func (g *Graph) NumLabels() int {
 	return n
 }
 
+// Stats summarizes a graph's size for observability: node, edge, and
+// label-occurrence counts.
+type Stats struct {
+	Nodes  int
+	Edges  int
+	Labels int
+}
+
+// Stats returns the graph's size counts. Safe on a nil graph (an
+// unbuildable replacement), which reports zeros.
+func (g *Graph) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	return Stats{Nodes: g.N, Edges: g.NumEdges(), Labels: g.NumLabels()}
+}
+
 // Options control graph construction. The zero value is a conservative
 // default: affix labels on, punctuation term on, no constant-string
 // position terms, no constant scoring (keep all constants), max string

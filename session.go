@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/goldrec/goldrec/internal/core"
 	"github.com/goldrec/goldrec/internal/oracle"
@@ -446,6 +447,44 @@ func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 
 // Stats returns the session's progress counters.
 func (s *Session) Stats() SessionStats { return s.stats }
+
+// PhaseTimings reports the cumulative time the session's engine spent
+// in each phase: context preparation (structure split and frequency
+// maps), graph build (transformation-graph construction and indexing),
+// and group search (pivot path search and group assembly). With the
+// Parallel option, build and search sum CPU time across workers and can
+// exceed wall clock. Durations marshal to JSON as nanoseconds.
+type PhaseTimings struct {
+	ContextPrep time.Duration `json:"context_prep_ns"`
+	GraphBuild  time.Duration `json:"graph_build_ns"`
+	GroupSearch time.Duration `json:"group_search_ns"`
+}
+
+// Timings returns the session's accumulated engine-phase timings.
+func (s *Session) Timings() PhaseTimings {
+	t := s.eng.Timings()
+	return PhaseTimings{
+		ContextPrep: t.ContextPrep,
+		GraphBuild:  t.GraphBuild,
+		GroupSearch: t.GroupSearch,
+	}
+}
+
+// GraphStats sums the sizes of the transformation graphs built so far
+// (graphs build lazily under the incremental algorithm, so the counts
+// grow as the session progresses).
+type GraphStats struct {
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Labels int `json:"labels"`
+}
+
+// GraphStats returns the session's cumulative transformation-graph
+// sizes.
+func (s *Session) GraphStats() GraphStats {
+	g := s.eng.GraphStats()
+	return GraphStats{Nodes: g.Nodes, Edges: g.Edges, Labels: g.Labels}
+}
 
 // GroupState is the serializable snapshot of one issued group.
 type GroupState struct {
