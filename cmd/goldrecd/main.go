@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/service"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
@@ -91,7 +92,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		auth         = fs.Bool("auth", false, "require API-key authentication and enforce per-tenant isolation, quotas and rate limits (needs -admin-key-file)")
 		adminKeyFile = fs.String("admin-key-file", "", "file holding the bootstrap admin API key for the /v1/tenants admin API (required with -auth)")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
-		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and /metrics/prometheus on this extra listener, bypassing -auth (bind to localhost; empty = off)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof, /metrics/prometheus and /debug/traces on this extra listener, bypassing -auth (bind to localhost; empty = off)")
+		traceOn      = fs.Bool("trace", true, "record request-scoped spans into the tail-sampled flight recorder (GET /debug/traces on -debug-addr)")
+		traceSlow    = fs.Duration("trace-slow", 500*time.Millisecond, "requests at or over this duration are retained as slow and logged with a span breakdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -128,6 +131,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	case !*auth && *adminKeyFile != "":
 		fs.Usage()
 		return fmt.Errorf("%w: -admin-key-file requires -auth", errUsage)
+	case *traceSlow <= 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -trace-slow must be > 0", errUsage)
 	}
 
 	var format obs.LogFormat
@@ -162,6 +168,13 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	// One registry for everything: store durability timings, service
 	// HTTP/tenant/engine metrics, all on one exposition endpoint.
 	reg := obs.NewRegistry()
+
+	// The flight recorder. nil with -trace=false: every span call in the
+	// service and below no-ops on the nil tracer.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Options{SlowThreshold: *traceSlow})
+	}
 
 	var st store.Store = store.Null{}
 	if *dataDir != "" {
@@ -205,6 +218,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Logf:           logf,
 		Metrics:        reg,
 		Logger:         logger,
+		Tracer:         tracer,
 	})
 	defer svc.Close()
 
@@ -245,6 +259,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/metrics/prometheus", svc.PrometheusHandler())
+		if tracer != nil {
+			h := tracer.Handler()
+			dmux.Handle("/debug/traces", h)
+			dmux.Handle("/debug/traces/", h)
+		}
 		dsrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
 		go dsrv.Serve(dln)
 		defer dsrv.Close()

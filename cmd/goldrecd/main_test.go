@@ -39,6 +39,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-auth"},                        // -auth without -admin-key-file
 		{"-admin-key-file", "/dev/null"}, // -admin-key-file without -auth
 		{"-log-format", "xml"},
+		{"-trace-slow", "0"},
+		{"-trace-slow", "-1s"},
 	} {
 		if err := run(ctx, bad, io.Discard, nil); !errors.Is(err, errUsage) {
 			t.Errorf("%v: err = %v, want errUsage", bad, err)
@@ -164,6 +166,15 @@ func TestRunObservability(t *testing.T) {
 	if !strings.Contains(string(body), `"request_id": "trace-abc.123"`) {
 		t.Errorf("error body lacks request_id: %s", body)
 	}
+	// Tracing is on by default: the response names the trace and the
+	// error body echoes it for /debug/traces/{trace_id}.
+	errTraceID := resp.Header.Get("X-Trace-ID")
+	if len(errTraceID) != 32 {
+		t.Errorf("X-Trace-ID = %q, want 32-hex trace id", errTraceID)
+	}
+	if !strings.Contains(string(body), `"trace_id": "`+errTraceID+`"`) {
+		t.Errorf("error body lacks trace_id %s: %s", errTraceID, body)
+	}
 
 	// Debug listener: exposition parses-ish and pprof answers.
 	dbase := "http://" + debugAddr
@@ -194,6 +205,30 @@ func TestRunObservability(t *testing.T) {
 		t.Errorf("pprof cmdline status = %d", resp.StatusCode)
 	}
 
+	// Flight recorder on the debug listener: the index lists the routes
+	// the requests above went through, and the errored 400 trace is
+	// retrievable by the id the error body reported. Poll briefly — the
+	// root span finishes after the response bytes go out.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(dbase + "/debug/traces/" + errTraceID)
+		if err != nil {
+			t.Fatalf("debug traces: %v", err)
+		}
+		tbody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if !strings.Contains(string(tbody), `"route": "/v1/plan"`) {
+				t.Errorf("trace view missing route: %s", tbody)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared on /debug/traces (last status %d)", errTraceID, resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -217,6 +252,9 @@ func TestRunObservability(t *testing.T) {
 	}
 	if !strings.Contains(out, `"request_id":"trace-abc.123"`) {
 		t.Error("request log lines lack the propagated request id")
+	}
+	if !strings.Contains(out, `"trace_id":"`+errTraceID+`"`) {
+		t.Error("request log lines lack the trace id")
 	}
 }
 

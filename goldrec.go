@@ -45,6 +45,7 @@
 package goldrec
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/goldrec/goldrec/internal/core"
@@ -190,10 +191,17 @@ func (c *Consolidator) Column(attr string) (*Session, error) {
 
 // ColumnIndex starts a standardization session for a column by index.
 func (c *Consolidator) ColumnIndex(col int) (*Session, error) {
+	return c.ColumnIndexCtx(context.Background(), col)
+}
+
+// ColumnIndexCtx is ColumnIndex carrying a trace context: the engine's
+// context_prep phase (candidate extraction and frequency maps) records
+// as a child span of whatever span the context holds.
+func (c *Consolidator) ColumnIndexCtx(ctx context.Context, col int) (*Session, error) {
 	if col < 0 || col >= len(c.ds.Attrs) {
 		return nil, fmt.Errorf("goldrec: column %d out of range", col)
 	}
-	return newSession(c, col), nil
+	return newSession(ctx, c, col), nil
 }
 
 // GoldenRecords runs majority-consensus truth discovery on every column

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/dsl"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/tgraph"
 )
 
@@ -130,6 +132,16 @@ func (e *Engine) GraphStats() tgraph.Stats {
 // NewEngine builds the engine over a set of candidate replacements. Ext
 // ids must be unique.
 func NewEngine(reps []Rep, opts Options) *Engine {
+	return NewEngineCtx(context.Background(), reps, opts)
+}
+
+// NewEngineCtx is NewEngine carrying a trace context: construction is
+// the paper pipeline's context_prep phase (structure split plus
+// frequency maps) and records as one span on the request that opened
+// the session.
+func NewEngineCtx(ctx context.Context, reps []Rep, opts Options) *Engine {
+	_, sp := trace.StartSpan(ctx, "context_prep")
+	defer sp.End()
 	start := time.Now()
 	if opts.MaxConstLen <= 0 {
 		opts.MaxConstLen = defaultMaxConstLen
@@ -198,13 +210,15 @@ func (e *Engine) graphOptions(c *Context) tgraph.Options {
 	return opt
 }
 
-func (e *Engine) prepare(c *Context) {
+func (e *Engine) prepare(ctx context.Context, c *Context) {
 	if c.Prepared() {
 		return
 	}
 	before := c.AliveCount()
 	start := time.Now()
+	_, sp := trace.StartSpan(ctx, "graph_build")
 	c.Prepare(e.graphOptions(c))
+	sp.End()
 	e.buildNanos.Add(time.Since(start).Nanoseconds())
 	e.skipped += before - c.AliveCount()
 }
@@ -224,6 +238,16 @@ func (e *Engine) searchOpts(mode Mode) SearchOpts {
 // are returned sorted by size descending (the verification order of
 // Section 3 Step 3).
 func (e *Engine) AllGroups(mode Mode) []*Group {
+	return e.AllGroupsCtx(context.Background(), mode)
+}
+
+// AllGroupsCtx is AllGroups carrying a trace context: the whole call
+// records as one group_search span, and each lazily-built context
+// graph records a graph_build child (parallel builds appear as
+// overlapping siblings in the waterfall).
+func (e *Engine) AllGroupsCtx(ctx context.Context, mode Mode) []*Group {
+	sctx, sp := trace.StartSpan(ctx, "group_search")
+	defer sp.End()
 	workers := 1
 	if e.opts.Parallel {
 		workers = runtime.GOMAXPROCS(0)
@@ -245,7 +269,9 @@ func (e *Engine) AllGroups(mode Mode) []*Group {
 			if !c.Prepared() {
 				before := c.AliveCount()
 				start := time.Now()
+				_, bsp := trace.StartSpan(sctx, "graph_build")
 				c.Prepare(e.graphOptions(c))
+				bsp.End()
 				e.buildNanos.Add(time.Since(start).Nanoseconds())
 				mu.Lock()
 				skippedDelta += before - c.AliveCount()
@@ -445,6 +471,16 @@ func (e *Engine) validatedTau() (tau int, ctx *Context, gi int) {
 // largest remaining replacement group and removes its members from
 // future consideration. It returns nil when no replacements remain.
 func (e *Engine) NextGroup() *Group {
+	return e.NextGroupCtx(context.Background())
+}
+
+// NextGroupCtx is NextGroup carrying a trace context: the call records
+// as one group_search span, with a graph_build child per context whose
+// graphs it had to build lazily along the way.
+func (e *Engine) NextGroupCtx(ctx context.Context) *Group {
+	var sp *trace.Span
+	ctx, sp = trace.StartSpan(ctx, "group_search")
+	defer sp.End()
 	start := time.Now()
 	buildBefore := e.buildNanos.Load()
 	defer func() {
@@ -483,7 +519,7 @@ func (e *Engine) NextGroup() *Group {
 				heap.Push(e.units, it)
 				break
 			}
-			e.prepare(c)
+			e.prepare(ctx, c)
 			for gi, g := range c.Graphs {
 				if g != nil && c.alive[gi] {
 					heap.Push(e.units, unit{ctx: it.ctx, gi: gi, up: c.up[gi]})

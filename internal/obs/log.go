@@ -10,11 +10,13 @@ import (
 
 // RequestInfo is the per-request context attached to every log line
 // emitted while handling an HTTP request: the generated (or propagated)
-// X-Request-ID, the authenticated tenant, and the normalized route.
+// X-Request-ID, the authenticated tenant, the normalized route, and
+// the trace id when tracing is on.
 type RequestInfo struct {
-	ID     string
-	Tenant string
-	Route  string
+	ID      string
+	Tenant  string
+	Route   string
+	TraceID string
 }
 
 type requestInfoKey struct{}
@@ -75,6 +77,9 @@ func (h *ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
 		if info.Route != "" {
 			rec.AddAttrs(slog.String("route", info.Route))
 		}
+		if info.TraceID != "" {
+			rec.AddAttrs(slog.String("trace_id", info.TraceID))
+		}
 	}
 	return h.inner.Handle(ctx, rec)
 }
@@ -88,9 +93,9 @@ func (h *ctxHandler) WithGroup(name string) slog.Handler {
 }
 
 // redactedParams are query parameters whose values must never reach a
-// log line. Keep in sync with the credential sources accepted by the
-// service auth middleware.
-var redactedParams = []string{"api_key", "access_token", "token"}
+// log line: every spelling the service auth middleware accepts plus
+// the generic names clients commonly smuggle credentials under.
+var redactedParams = []string{"access_token", "api_key", "apikey", "key", "secret", "token"}
 
 // RedactURI returns the request URI with credential-bearing query
 // parameter values replaced by REDACTED. The path and other params are
@@ -99,12 +104,14 @@ func RedactURI(uri string) string {
 	// Fast path: no query, or a query that cannot name a credential
 	// param — no '%' (which could percent-encode a param name past a
 	// substring check) and no occurrence of the param names themselves
-	// ("token" also covers "access_token").
+	// ("token" also covers "access_token"; "key" covers "api_key" and
+	// "apikey").
 	i := strings.IndexByte(uri, '?')
 	if i < 0 {
 		return uri
 	}
-	if raw := uri[i+1:]; !strings.Contains(raw, "%") && !strings.Contains(raw, "token") && !strings.Contains(raw, "api_key") {
+	if raw := uri[i+1:]; !strings.Contains(raw, "%") && !strings.Contains(raw, "token") &&
+		!strings.Contains(raw, "key") && !strings.Contains(raw, "secret") {
 		return uri
 	}
 	u, err := url.Parse(uri)

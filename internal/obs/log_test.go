@@ -13,6 +13,7 @@ func TestLoggerInjectsRequestContext(t *testing.T) {
 	log := NewLogger(&buf, LogJSON, slog.LevelInfo)
 	ctx := WithRequest(context.Background(), RequestInfo{
 		ID: "req_123", Tenant: "acme", Route: "POST /v1/sessions/{id}/decide",
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
 	})
 	log.InfoContext(ctx, "request", "status", 200)
 	var rec map[string]any
@@ -23,6 +24,7 @@ func TestLoggerInjectsRequestContext(t *testing.T) {
 		"request_id": "req_123",
 		"tenant":     "acme",
 		"route":      "POST /v1/sessions/{id}/decide",
+		"trace_id":   "4bf92f3577b34da6a3ce929d0e0e4736",
 		"msg":        "request",
 	} {
 		if got, _ := rec[k].(string); got != want {
@@ -43,7 +45,7 @@ func TestLoggerTextFormat(t *testing.T) {
 	if !strings.Contains(out, "request_id=req_9") {
 		t.Errorf("text output missing request_id: %q", out)
 	}
-	if strings.Contains(out, "tenant=") || strings.Contains(out, "route=") {
+	if strings.Contains(out, "tenant=") || strings.Contains(out, "route=") || strings.Contains(out, "trace_id=") {
 		t.Errorf("empty fields should be omitted: %q", out)
 	}
 }
@@ -71,7 +73,25 @@ func TestRedactURI(t *testing.T) {
 		"api_key":      {"/v1/datasets?api_key=secret123", "api_key=REDACTED", "secret123"},
 		"access_token": {"/v1/metrics?access_token=sekrit", "access_token=REDACTED", "sekrit"},
 		"token":        {"/x?token=abc&other=keep", "other=keep", "abc"},
+		"apikey":       {"/v1/datasets?apikey=grk_abc123", "apikey=REDACTED", "grk_abc123"},
+		"key":          {"/v1/datasets?name=x&key=grk_def456", "key=REDACTED", "grk_def456"},
+		"secret":       {"/hook?secret=hunter2", "secret=REDACTED", "hunter2"},
 		"clean":        {"/v1/datasets/ds_1", "/v1/datasets/ds_1", ""},
+		"clean query":  {"/v1/plan?budget=10", "/v1/plan?budget=10", ""},
+		// Percent-encoded spellings of the param names must not slip
+		// past the fast path: '%' in the query forces a full parse,
+		// where url.Values sees the decoded name.
+		"encoded api_key": {"/x?%61pi_key=sneaky1", "REDACTED", "sneaky1"},
+		"encoded apikey":  {"/x?%61pikey=sneaky2", "REDACTED", "sneaky2"},
+		"encoded key":     {"/x?%6bey=sneaky3", "REDACTED", "sneaky3"},
+		"encoded secret":  {"/x?%73ecret=sneaky4", "REDACTED", "sneaky4"},
+		"encoded token":   {"/x?%74oken=sneaky5", "REDACTED", "sneaky5"},
+		"encoded access_token": {
+			"/x?access%5Ftoken=sneaky6", "REDACTED", "sneaky6",
+		},
+		// A percent-encoded *value* survives redaction of its param and
+		// leaves the others alone.
+		"encoded value": {"/x?key=a%2Fb&other=keep", "other=keep", "a%2Fb"},
 	}
 	for name, c := range cases {
 		got := RedactURI(c.in)
@@ -86,10 +106,5 @@ func TestRedactURI(t *testing.T) {
 	// rather than logging the raw string.
 	if got := RedactURI("://bad?api_key=oops"); got != "/" {
 		t.Errorf("unparseable URI = %q, want /", got)
-	}
-	// A percent sign in the query forces the full parse so an encoded
-	// param name cannot slip past the substring fast path.
-	if got := RedactURI("/x?%61pi_key=sneaky"); strings.Contains(got, "sneaky") {
-		t.Errorf("encoded api_key leaked: %q", got)
 	}
 }

@@ -141,6 +141,16 @@ func escapeHelp(s string) string {
 // cmd/promlint), and the golden-file tests run it over checked-in
 // output, so a formatting regression fails both.
 func ParseExposition(r io.Reader) (samples int, err error) {
+	samples, _, err = ParseExpositionFamilies(r)
+	return samples, err
+}
+
+// ParseExpositionFamilies is ParseExposition plus the set of metric
+// families that emitted at least one sample, keyed by family name
+// (histogram _bucket/_sum/_count fold into their base family). promlint
+// -require uses it to assert that an exposition is not just well-formed
+// but actually carries the families a scrape config depends on.
+func ParseExpositionFamilies(r io.Reader) (samples int, families map[string]bool, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	typeOf := make(map[string]string) // family → TYPE
@@ -171,29 +181,29 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 			}
 			name := fields[2]
 			if err := checkMetricName(name); err != nil {
-				return samples, fmt.Errorf("line %d: %s %v", line, fields[1], err)
+				return samples, seenSample, fmt.Errorf("line %d: %s %v", line, fields[1], err)
 			}
 			switch fields[1] {
 			case "HELP":
 				if helpSeen[name] {
-					return samples, fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+					return samples, seenSample, fmt.Errorf("line %d: duplicate HELP for %s", line, name)
 				}
 				helpSeen[name] = true
 			case "TYPE":
 				if len(fields) != 4 {
-					return samples, fmt.Errorf("line %d: TYPE needs a type", line)
+					return samples, seenSample, fmt.Errorf("line %d: TYPE needs a type", line)
 				}
 				typ := fields[3]
 				switch typ {
 				case "counter", "gauge", "histogram", "summary", "untyped":
 				default:
-					return samples, fmt.Errorf("line %d: unknown TYPE %q for %s", line, typ, name)
+					return samples, seenSample, fmt.Errorf("line %d: unknown TYPE %q for %s", line, typ, name)
 				}
 				if _, dup := typeOf[name]; dup {
-					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+					return samples, seenSample, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
 				}
 				if seenSample[name] {
-					return samples, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+					return samples, seenSample, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
 				}
 				typeOf[name] = typ
 			}
@@ -201,7 +211,7 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 		}
 		name, labels, value, err := parseSampleLine(text)
 		if err != nil {
-			return samples, fmt.Errorf("line %d: %w", line, err)
+			return samples, seenSample, fmt.Errorf("line %d: %w", line, err)
 		}
 		samples++
 		family := name
@@ -215,10 +225,10 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 		}
 		typ, ok := typeOf[family]
 		if !ok {
-			return samples, fmt.Errorf("line %d: sample %s before any TYPE", line, name)
+			return samples, seenSample, fmt.Errorf("line %d: sample %s before any TYPE", line, name)
 		}
 		if !helpSeen[family] {
-			return samples, fmt.Errorf("line %d: sample %s without HELP", line, name)
+			return samples, seenSample, fmt.Errorf("line %d: sample %s without HELP", line, name)
 		}
 		seenSample[family] = true
 		if typ != "histogram" {
@@ -242,21 +252,21 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 		switch suffix {
 		case "_bucket":
 			if le == "" {
-				return samples, fmt.Errorf("line %d: histogram bucket without le label", line)
+				return samples, seenSample, fmt.Errorf("line %d: histogram bucket without le label", line)
 			}
 			ub := math.Inf(1)
 			if le != "+Inf" {
 				ub, err = strconv.ParseFloat(le, 64)
 				if err != nil {
-					return samples, fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+					return samples, seenSample, fmt.Errorf("line %d: bad le %q: %v", line, le, err)
 				}
 			}
 			cum := int64(value)
 			if ub <= st.lastLe {
-				return samples, fmt.Errorf("line %d: histogram %s buckets out of order (le %v after %v)", line, family, ub, st.lastLe)
+				return samples, seenSample, fmt.Errorf("line %d: histogram %s buckets out of order (le %v after %v)", line, family, ub, st.lastLe)
 			}
 			if cum < st.lastCum {
-				return samples, fmt.Errorf("line %d: histogram %s bucket counts not cumulative", line, family)
+				return samples, seenSample, fmt.Errorf("line %d: histogram %s bucket counts not cumulative", line, family)
 			}
 			st.lastLe, st.lastCum = ub, cum
 			if math.IsInf(ub, 1) {
@@ -269,18 +279,18 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return samples, err
+		return samples, seenSample, err
 	}
 	for key, st := range hists {
 		family := key[:strings.IndexByte(key, '\xff')]
 		if !st.infSeen {
-			return samples, fmt.Errorf("histogram %s: no +Inf bucket", family)
+			return samples, seenSample, fmt.Errorf("histogram %s: no +Inf bucket", family)
 		}
 		if st.hasCnt && st.count != st.infCum {
-			return samples, fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", family, st.count, st.infCum)
+			return samples, seenSample, fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", family, st.count, st.infCum)
 		}
 	}
-	return samples, nil
+	return samples, seenSample, nil
 }
 
 // parseSampleLine parses `name{label="value",...} value` (the labels

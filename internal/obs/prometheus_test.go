@@ -115,6 +115,32 @@ func TestParseExpositionAccepts(t *testing.T) {
 	}
 }
 
+func TestParseExpositionFamilies(t *testing.T) {
+	in := "# HELP x_total T.\n# TYPE x_total counter\nx_total 1\n" +
+		"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+		"h_seconds_bucket{le=\"1\"} 2\nh_seconds_bucket{le=\"+Inf\"} 2\n" +
+		"h_seconds_sum 0.5\nh_seconds_count 2\n" +
+		// TYPE with no samples: declared but must NOT count as seen.
+		"# HELP empty_total E.\n# TYPE empty_total counter\n"
+	n, fams, err := ParseExpositionFamilies(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("parsed %d samples, want 5", n)
+	}
+	// Histogram suffixes fold into the base family.
+	if !fams["x_total"] || !fams["h_seconds"] {
+		t.Fatalf("families = %v, want x_total and h_seconds", fams)
+	}
+	if fams["h_seconds_bucket"] || fams["h_seconds_count"] {
+		t.Fatalf("histogram suffix leaked as a family: %v", fams)
+	}
+	if fams["empty_total"] {
+		t.Fatalf("sampleless family reported as seen: %v", fams)
+	}
+}
+
 func TestEscapeRoundTrip(t *testing.T) {
 	r := NewRegistry()
 	nasty := "a\\b\"c\nd"

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerIndexAndTrace(t *testing.T) {
+	tc := New(Options{SlowThreshold: 50 * time.Millisecond})
+	ctx, root := tc.StartRoot(context.Background(), "POST /v1/datasets", "/v1/datasets", "")
+	_, child := StartSpan(ctx, "snapshot_write")
+	child.End()
+	root.End()
+	h := tc.Handler()
+
+	// Index, JSON.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("index status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("index content type = %q", ct)
+	}
+	var idx struct {
+		Routes []RouteSummary `json:"routes"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index not JSON: %v", err)
+	}
+	if len(idx.Routes) != 1 || idx.Routes[0].Route != "/v1/datasets" || len(idx.Routes[0].Recent) != 1 {
+		t.Fatalf("bad index: %+v", idx.Routes)
+	}
+
+	// Single trace, JSON span tree.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces/"+root.TraceID(), nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("trace status = %d", rr.Code)
+	}
+	var view TraceView
+	if err := json.Unmarshal(rr.Body.Bytes(), &view); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if view.TraceID != root.TraceID() || view.Root == nil || len(view.Root.Children) != 1 {
+		t.Fatalf("bad trace view: %+v", view)
+	}
+
+	// HTML waterfall.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces/"+root.TraceID()+"?format=html", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("html content type = %q", ct)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, "snapshot_write") || !strings.Contains(body, "<table>") {
+		t.Fatalf("waterfall missing span rows: %s", body)
+	}
+
+	// HTML index links to the trace.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces?format=html", nil))
+	if !strings.Contains(rr.Body.String(), root.TraceID()) {
+		t.Fatal("html index must link retained traces")
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	tc := New(Options{})
+	h := tc.Handler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces/deadbeef", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", rr.Code)
+	}
+}

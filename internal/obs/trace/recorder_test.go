@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishOne records one completed trace on the route; slow/errored
+// steer its classification.
+func finishOne(tc *Tracer, route string, slow, errored bool) string {
+	_, root := tc.StartRoot(context.Background(), "GET "+route, route, "")
+	if errored {
+		root.Fail("boom")
+	}
+	if slow {
+		// Rewind the start instead of sleeping: classification compares
+		// end-start against the threshold, so a shifted start is a slow
+		// request as far as the recorder can tell.
+		root.start = root.start.Add(-time.Hour)
+		root.tr.mu.Lock()
+		root.tr.start = root.start
+		root.tr.mu.Unlock()
+	}
+	root.End()
+	return root.TraceID()
+}
+
+func TestTailRetentionUnderLoad(t *testing.T) {
+	tc := New(Options{RingSize: 4, SlowThreshold: 100 * time.Millisecond})
+	slowID := finishOne(tc, "/v1/plan", true, false)
+	errID := finishOne(tc, "/v1/plan", false, true)
+	// Flood with fast, successful requests — far beyond the ring size.
+	var lastFast string
+	for i := 0; i < 100; i++ {
+		lastFast = finishOne(tc, "/v1/plan", false, false)
+	}
+	if tc.Lookup(slowID) == nil {
+		t.Fatal("slow trace must survive a flood of fast requests")
+	}
+	if tc.Lookup(errID) == nil {
+		t.Fatal("errored trace must survive a flood of fast requests")
+	}
+	if tc.Lookup(lastFast) == nil {
+		t.Fatal("the newest fast trace must be in the recent ring")
+	}
+	snap := tc.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("routes = %d, want 1", len(snap))
+	}
+	rs := snap[0]
+	if rs.Total != 102 || rs.Slow != 1 || rs.Errored != 1 {
+		t.Fatalf("counters = %+v", rs)
+	}
+	if len(rs.Recent) != 4 || len(rs.SlowTraces) != 1 || len(rs.ErrTraces) != 1 {
+		t.Fatalf("ring occupancy recent=%d slow=%d err=%d, want 4/1/1",
+			len(rs.Recent), len(rs.SlowTraces), len(rs.ErrTraces))
+	}
+	if rs.Recent[0].TraceID != lastFast {
+		t.Fatal("recent ring must list newest first")
+	}
+}
+
+func TestMemoryBoundedByRings(t *testing.T) {
+	tc := New(Options{RingSize: 2})
+	for route := 0; route < 3; route++ {
+		for i := 0; i < 50; i++ {
+			finishOne(tc, fmt.Sprintf("/r%d", route), i%2 == 0, false)
+		}
+	}
+	tc.mu.Lock()
+	indexed := len(tc.byID)
+	routes := len(tc.routes)
+	tc.mu.Unlock()
+	// 3 routes × 3 rings × size 2 is the hard ceiling on retained traces.
+	if max := routes * 3 * 2; indexed > max {
+		t.Fatalf("byID holds %d traces, ring capacity is %d — eviction is leaking the index", indexed, max)
+	}
+	if indexed == 0 {
+		t.Fatal("expected some retained traces")
+	}
+}
+
+func TestEvictionRemovesFromIndex(t *testing.T) {
+	tc := New(Options{RingSize: 2})
+	first := finishOne(tc, "/", false, false)
+	finishOne(tc, "/", false, false)
+	if tc.Lookup(first) == nil {
+		t.Fatal("trace within ring capacity must be retrievable")
+	}
+	finishOne(tc, "/", false, false) // evicts first
+	if tc.Lookup(first) != nil {
+		t.Fatal("evicted trace must leave the id index")
+	}
+}
+
+func TestRouteCardinalityBounded(t *testing.T) {
+	tc := New(Options{MaxRoutes: 3})
+	for i := 0; i < 10; i++ {
+		finishOne(tc, fmt.Sprintf("/route-%d", i), false, false)
+	}
+	snap := tc.Snapshot()
+	if len(snap) > 4 { // 3 real routes + "other"
+		t.Fatalf("routes = %d, want at most MaxRoutes+1", len(snap))
+	}
+	var overflow *RouteSummary
+	for i := range snap {
+		if snap[i].Route == overflowRoute {
+			overflow = &snap[i]
+		}
+	}
+	if overflow == nil || overflow.Total != 7 {
+		t.Fatalf("overflow route must absorb the excess: %+v", snap)
+	}
+}
+
+func TestPerRouteThreshold(t *testing.T) {
+	tc := New(Options{SlowThreshold: time.Second})
+	if got := tc.Threshold("/v1/plan"); got != time.Second {
+		t.Fatalf("default threshold = %v", got)
+	}
+	tc.SetRouteThreshold("/v1/plan", 5*time.Millisecond)
+	if got := tc.Threshold("/v1/plan"); got != 5*time.Millisecond {
+		t.Fatalf("route threshold = %v", got)
+	}
+	if got := tc.Threshold("/other"); got != time.Second {
+		t.Fatalf("unrelated route threshold = %v", got)
+	}
+	tc.SetRouteThreshold("/v1/plan", 0)
+	if got := tc.Threshold("/v1/plan"); got != time.Second {
+		t.Fatalf("reset threshold = %v", got)
+	}
+}
+
+func TestErroredBeatsSlow(t *testing.T) {
+	tc := New(Options{SlowThreshold: time.Nanosecond})
+	id := finishOne(tc, "/", true, true)
+	snap := tc.Snapshot()
+	rs := snap[0]
+	if len(rs.ErrTraces) != 1 || rs.ErrTraces[0].TraceID != id {
+		t.Fatal("a slow errored trace must land in the errored ring")
+	}
+	if len(rs.SlowTraces) != 0 {
+		t.Fatal("a trace must live in exactly one ring")
+	}
+	if rs.Slow != 1 {
+		t.Fatal("the slow counter must still count it")
+	}
+}
+
+// TestConcurrentRecordAndSnapshot is the CI race target: spans recorded
+// and traces finished concurrently with snapshot, lookup, view and
+// eviction must be data-race free.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tc := New(Options{RingSize: 2, SlowThreshold: time.Nanosecond, MaxSpans: 8})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				route := fmt.Sprintf("/r%d", i%3)
+				ctx, root := tc.StartRoot(context.Background(), "GET "+route, route, "")
+				cctx, child := StartSpan(ctx, "phase")
+				child.Annotate("i", "1")
+				_, gc := StartSpan(cctx, "leaf")
+				gc.End()
+				if i%5 == 0 {
+					child.Fail("x")
+				}
+				child.End()
+				detached := Detach(ctx)
+				root.End()
+				// Late span after the root finished, as the generator
+				// goroutine does in the service.
+				_, late := StartSpan(detached, "late")
+				late.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rs := range tc.Snapshot() {
+					for _, st := range rs.Recent {
+						if tr := tc.Lookup(st.TraceID); tr != nil {
+							_ = tr.View()
+							_ = Breakdown(tr.root)
+						}
+					}
+				}
+				tc.SetRouteThreshold("/r0", time.Millisecond)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"errors"
+	"math/rand/v2"
+)
+
+// W3C trace-context (https://www.w3.org/TR/trace-context/) traceparent
+// support. The wire format is
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Only version 00 is emitted; any parseable version except the reserved
+// ff is accepted inbound so a newer upstream proxy still correlates.
+
+var errTraceparent = errors.New("malformed traceparent")
+
+// ParseTraceparent extracts the trace id and parent span id from an
+// inbound traceparent header value. Malformed headers (wrong shape,
+// non-hex, all-zero ids, version ff) return an error; the caller then
+// starts a fresh trace, per spec.
+func ParseTraceparent(h string) (traceID, parentID string, err error) {
+	// version(2) '-' traceID(32) '-' parentID(16) '-' flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", errTraceparent
+	}
+	version := h[0:2]
+	traceID = h[3:35]
+	parentID = h[36:52]
+	flags := h[53:55]
+	if len(h) > 55 && h[55] != '-' {
+		// Trailing data is only valid as future "-extension" fields.
+		return "", "", errTraceparent
+	}
+	if !isLowerHex(version) || !isLowerHex(traceID) || !isLowerHex(parentID) || !isLowerHex(flags) {
+		return "", "", errTraceparent
+	}
+	if version == "ff" {
+		return "", "", errTraceparent
+	}
+	if version == "00" && len(h) != 55 {
+		return "", "", errTraceparent
+	}
+	if allZero(traceID) || allZero(parentID) {
+		return "", "", errTraceparent
+	}
+	return traceID, parentID, nil
+}
+
+// Format renders a version-00 traceparent value with the sampled flag
+// set (a trace in the flight recorder is by definition recorded).
+func Format(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Trace and span ids are correlation handles, not secrets — math/rand
+// is fine (same rationale as the service's request ids) and keeps the
+// tracer off the crypto/rand syscall path. The hex rendering is
+// hand-rolled: this runs on every span, and fmt boxes its arguments.
+
+const hexDigits = "0123456789abcdef"
+
+func putHex64(dst []byte, v uint64) {
+	for i := 0; i < 16; i++ {
+		dst[i] = hexDigits[(v>>uint(60-4*i))&0xf]
+	}
+}
+
+func newTraceID() string {
+	var b [32]byte
+	putHex64(b[:16], rand.Uint64())
+	putHex64(b[16:], rand.Uint64())
+	return string(b[:])
+}
+
+func newSpanID() string {
+	for {
+		id := rand.Uint64()
+		if id != 0 { // all-zero span ids are invalid on the wire
+			var b [16]byte
+			putHex64(b[:], id)
+			return string(b[:])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name    string
+		in      string
+		traceID string
+		wantErr bool
+	}{
+		{"valid", valid, "4bf92f3577b34da6a3ce929d0e0e4736", false},
+		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", "4bf92f3577b34da6a3ce929d0e0e4736", false},
+		{"future version with extension", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", "4bf92f3577b34da6a3ce929d0e0e4736", false},
+		{"empty", "", "", true},
+		{"garbage", "not-a-traceparent", "", true},
+		{"too short", valid[:54], "", true},
+		{"version ff reserved", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", true},
+		{"uppercase hex rejected", strings.ToUpper(valid), "", true},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", true},
+		{"all-zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", "", true},
+		{"wrong separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01", "", true},
+		{"version 00 with trailing data", valid + "-extra", "", true},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01", "", true},
+		{"trailing junk without dash", valid + "x", "", true},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			traceID, parentID, err := ParseTraceparent(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseTraceparent(%q) = (%q, %q), want error", tt.in, traceID, parentID)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseTraceparent(%q) error: %v", tt.in, err)
+			}
+			if traceID != tt.traceID {
+				t.Fatalf("trace id = %q, want %q", traceID, tt.traceID)
+			}
+			if parentID != "00f067aa0ba902b7" {
+				t.Fatalf("parent id = %q", parentID)
+			}
+		})
+	}
+}
+
+func TestFormatParsesBack(t *testing.T) {
+	id, span := newTraceID(), newSpanID()
+	if len(id) != 32 || len(span) != 16 || !isLowerHex(id) || !isLowerHex(span) {
+		t.Fatalf("bad generated ids: %q %q", id, span)
+	}
+	gotTrace, gotSpan, err := ParseTraceparent(Format(id, span))
+	if err != nil || gotTrace != id || gotSpan != span {
+		t.Fatalf("Format output must parse back: %v %q %q", err, gotTrace, gotSpan)
+	}
+}

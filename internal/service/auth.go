@@ -35,9 +35,11 @@ func principalFrom(r *http.Request) principal {
 }
 
 // scope returns the service view the request's principal is entitled
-// to: the tenant's slice, or everything for admin/open mode.
+// to: the tenant's slice, or everything for admin/open mode. The scope
+// carries the request context so trace spans opened below attach to
+// the request's trace.
 func (s *Service) scope(r *http.Request) Scope {
-	return s.As(principalFrom(r).tenant)
+	return s.As(principalFrom(r).tenant).WithContext(r.Context())
 }
 
 // requestKey extracts the API key from a request: "Authorization:

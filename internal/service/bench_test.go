@@ -16,6 +16,7 @@ import (
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
 )
@@ -586,6 +587,58 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 	b.Run("off", func(b *testing.B) {
 		run(b, Options{Metrics: obs.Noop()})
+	})
+}
+
+// BenchmarkTraceOverhead prices the span tracer on the same hot HTTP
+// decide path as BenchmarkObsOverhead: the "on" leg runs the fully
+// instrumented stack plus a live tracer — a root span per request with
+// traceparent generation, annotations, tail classification and ring
+// insertion — and the "off" leg runs the identical stack with tracing
+// nil (every span call is a nil no-op). The on leg joins the CI gate:
+// tracing every request must stay within a whisker of free.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, opts Options) {
+		defer raiseProcs(benchProcs)()
+		opts.Prefetch = 2
+		opts.Logger = obs.NewLogger(io.Discard, obs.LogJSON, slog.LevelInfo)
+		svc := New(opts)
+		defer svc.Close()
+		ds, err := svc.CreateDataset("bench", "key", "", strings.NewReader(paperCSV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := svc.OpenSession(ds.ID, "Name")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gid, err := benchFirstGroup(svc, sess.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Decide(sess.ID, gid, goldrec.Rejected); err != nil {
+			b.Fatal(err)
+		}
+		h := svc.Handler()
+		path := "/v1/sessions/" + sess.ID + "/decisions"
+		body := fmt.Sprintf(`{"group_id":%d,"decision":"approve"}`, gid)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest("POST", path, strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusConflict {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+				}
+			}
+		})
+	}
+	b.Run("on", func(b *testing.B) {
+		run(b, Options{Tracer: trace.New(trace.Options{})})
+	})
+	b.Run("off", func(b *testing.B) {
+		run(b, Options{})
 	})
 }
 

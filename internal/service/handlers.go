@@ -278,11 +278,15 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusRequestEntityTooLarge
 	}
 	body := map[string]string{"error": err.Error()}
-	// The middleware stamps X-Request-ID on the response before the
-	// handler runs; echoing it in the body lets clients quote one id
-	// when reporting a failure.
+	// The middleware stamps X-Request-ID (and X-Trace-ID when tracing
+	// is on) on the response before the handler runs; echoing them in
+	// the body lets clients quote the ids when reporting a failure —
+	// the trace id leads straight to /debug/traces/{trace_id}.
 	if id := w.Header().Get("X-Request-ID"); id != "" {
 		body["request_id"] = id
+	}
+	if id := w.Header().Get("X-Trace-ID"); id != "" {
+		body["trace_id"] = id
 	}
 	writeJSON(w, status, body)
 }

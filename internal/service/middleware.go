@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 )
 
 // isIDSegment reports whether a path segment is a registry or tenant
@@ -133,12 +134,15 @@ func (rec *statusRecorder) Flush() {
 }
 
 // instrument is the outermost HTTP layer: it assigns (or propagates)
-// the request id into the response headers and log context, normalizes
-// the route, authenticates the request when multi-tenancy is on (the
-// health probes stay open), attributes the request to its tenant,
-// records the per-route/per-status counters and latency histogram, and
-// emits one structured log line per request with credentials redacted.
-// Unauthenticated rejections never reach the mux.
+// the request id into the response headers and log context, opens the
+// request's root trace span (continuing an inbound W3C traceparent),
+// normalizes the route, authenticates the request when multi-tenancy is
+// on (the health probes stay open), attributes the request to its
+// tenant, records the per-route/per-status counters and latency
+// histogram, and emits one structured log line per request with
+// credentials redacted — plus a WARN line with the span breakdown when
+// the request crosses the route's slow threshold. Unauthenticated
+// rejections never reach the mux.
 func (s *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -152,8 +156,17 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		if s.opts.Tenants != nil && !openPath(r.URL.Path) {
 			p, authFailed = s.authenticate(r)
 		}
-		info := obs.RequestInfo{ID: reqID, Tenant: p.tenant, Route: route}
-		ctx := obs.WithRequest(r.Context(), info)
+		ctx := r.Context()
+		var root *trace.Span
+		if s.tracer != nil {
+			ctx, root = s.tracer.StartRoot(ctx, r.Method+" "+route, route, r.Header.Get("traceparent"))
+			// Echo the ids so the caller (and the next hop) can fetch
+			// the trace from /debug/traces/{trace_id}.
+			w.Header().Set("X-Trace-ID", root.TraceID())
+			w.Header().Set("traceparent", root.Traceparent())
+		}
+		info := obs.RequestInfo{ID: reqID, Tenant: p.tenant, Route: route, TraceID: root.TraceID()}
+		ctx = obs.WithRequest(ctx, info)
 		if authFailed == nil && (p.tenant != "" || p.admin) {
 			ctx = context.WithValue(ctx, principalCtxKey{}, p)
 		}
@@ -168,6 +181,14 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		}
 
 		elapsed := time.Since(start)
+		if root != nil {
+			root.Annotate("status", strconv.Itoa(rec.status))
+			root.Annotate("request_id", reqID)
+			if rec.status >= 400 {
+				root.Fail(http.StatusText(rec.status))
+			}
+			root.End()
+		}
 		s.metrics.httpRequests.Counter(route, r.Method, strconv.Itoa(rec.status)).Inc()
 		s.metrics.httpLatency.Histogram(route).ObserveDuration(elapsed)
 		if s.logger != nil {
@@ -178,6 +199,14 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 				slog.Int64("bytes", rec.bytes),
 				slog.Duration("elapsed", elapsed),
 			)
+			if root != nil && elapsed >= s.tracer.Threshold(route) {
+				s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+					slog.String("method", r.Method),
+					slog.String("uri", obs.RedactURI(r.URL.RequestURI())),
+					slog.Duration("elapsed", elapsed),
+					slog.String("spans", trace.Breakdown(root)),
+				)
+			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -174,7 +175,8 @@ func (s *Service) restoreSession(d *dataset, sm store.SessionMeta) error {
 	s.mu.Unlock()
 
 	if cs.resume {
-		go cs.run(s)
+		// Recovery has no originating request: the replay runs untraced.
+		go cs.run(context.Background(), s)
 	}
 	return nil
 }

@@ -49,6 +49,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -63,6 +64,7 @@ import (
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
 	"github.com/goldrec/goldrec/table"
@@ -141,6 +143,14 @@ type Options struct {
 	// request id, tenant and route attached from the request context
 	// (nil = no request logging).
 	Logger *slog.Logger
+	// Tracer records request-scoped span traces into its flight
+	// recorder: the middleware opens a root span per request (honoring
+	// an inbound W3C traceparent header), the engine and store layers
+	// attach phase and durability spans, and completed traces are
+	// retained tail-first per route (recent/slow/errored). nil = no
+	// tracing, at zero per-request cost. Mount Tracer.Handler() on a
+	// private listener to browse the recorder.
+	Tracer *trace.Tracer
 
 	// clock substitutes time in tests (nil = wall clock).
 	clock Clock
@@ -155,6 +165,7 @@ type Service struct {
 	sessions *shardedRegistry[*columnSession]
 	metrics  *serviceMetrics
 	logger   *slog.Logger
+	tracer   *trace.Tracer
 
 	// ready flips once the owner finishes startup recovery (MarkReady);
 	// /readyz serves 503 until then, while /healthz stays live.
@@ -221,6 +232,7 @@ func New(opts Options) *Service {
 		sessions:  newRegistry[*columnSession]("cs", opts.Shards, opts.TTL, opts.clock),
 		metrics:   newServiceMetrics(reg),
 		logger:    opts.Logger,
+		tracer:    opts.Tracer,
 		restoreMu: make([]sync.Mutex, opts.Shards),
 		admitMu:   make(map[string]*sync.Mutex),
 	}
@@ -434,8 +446,9 @@ type columnSession struct {
 
 // createDataset ingests a clustered CSV (key column identifies
 // clusters; optional source column populates Record.Source) and
-// registers it under the owning tenant ("" = unowned).
-func (s *Service) createDataset(owner, name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
+// registers it under the owning tenant ("" = unowned). The context
+// carries the request's trace span, if any.
+func (s *Service) createDataset(ctx context.Context, owner, name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
 	if err := s.alive(); err != nil {
 		return DatasetInfo{}, err
 	}
@@ -485,7 +498,7 @@ func (s *Service) createDataset(owner, name, keyCol, srcCol string, csv io.Reade
 	// the dataset: this version-1 snapshot is what every session WAL
 	// replays over.
 	meta := store.DatasetMeta{ID: d.id, Name: ds.Name, KeyCol: keyCol, Created: d.created, Owner: owner}
-	if err := s.store.PutDataset(meta, ds); err != nil {
+	if err := s.store.PutDataset(ctx, meta, ds); err != nil {
 		s.datasets.remove(d.id)
 		return DatasetInfo{}, fmt.Errorf("%w: snapshotting dataset: %v", ErrStorage, err)
 	}
@@ -688,7 +701,13 @@ func (s *Service) datasetInfo(d *dataset) DatasetInfo {
 // returns as soon as the session is registered. The session belongs to
 // the dataset's tenant, whose MaxSessions quota it counts against
 // (even when an unscoped admin opens it).
-func (s *Service) openSession(owner, datasetID, column string) (SessionInfo, error) {
+//
+// The context carries the opening request's trace span: the generator
+// goroutine detaches it (span only, no cancellation) so the engine's
+// context_prep/graph_build/group_search work records on the trace of
+// the request that opened the session, even though the goroutine
+// outlives it.
+func (s *Service) openSession(ctx context.Context, owner, datasetID, column string) (SessionInfo, error) {
 	if err := s.alive(); err != nil {
 		return SessionInfo{}, err
 	}
@@ -745,7 +764,7 @@ func (s *Service) openSession(owner, datasetID, column string) (SessionInfo, err
 		return SessionInfo{}, fmt.Errorf("%w: persisting session: %v", ErrStorage, err)
 	}
 
-	go cs.run(s)
+	go cs.run(trace.Detach(ctx), s)
 	s.opts.Logf("session %s: opened on dataset %s column %q", cs.id, datasetID, column)
 	return cs.info(), nil
 }
@@ -755,10 +774,16 @@ func (s *Service) openSession(owner, datasetID, column string) (SessionInfo, err
 // prefetch undecided groups buffered ahead of the reviewer. Every new
 // group is logged to the WAL before it becomes visible, so the durable
 // log always describes a prefix of the in-memory state.
-func (cs *columnSession) run(s *Service) {
+//
+// ctx carries only the opening request's trace span (already detached
+// by openSession): spans the generator records — engine phases, WAL
+// issue appends — attach to that trace until its span cap, which is
+// how "why was upload→first-group slow?" stays answerable even though
+// the work happens here, after the HTTP response.
+func (cs *columnSession) run(ctx context.Context, s *Service) {
 	logf := s.opts.Logf
 	openedAt := time.Now()
-	sess, err := cs.d.cons.ColumnIndex(cs.col)
+	sess, err := cs.d.cons.ColumnIndexCtx(ctx, cs.col)
 	if err != nil {
 		// Unreachable in practice: the column index was validated at
 		// open time. Mark the stream done so waiters return.
@@ -776,7 +801,7 @@ func (cs *columnSession) run(s *Service) {
 		cs.d.applyMu.RLock()
 		pristine := columnValues(cs.d.cons.Dataset(), cs.col)
 		cs.d.applyMu.RUnlock()
-		restored, err = cs.replay(s, sess)
+		restored, err = cs.replay(ctx, s, sess)
 		if err != nil {
 			logf("session %s: WAL replay failed, closing session: %v", cs.id, err)
 			cs.d.applyMu.Lock()
@@ -816,7 +841,7 @@ func (cs *columnSession) run(s *Service) {
 		// NextGroup runs under cs.mu: it mutates the engine's shared
 		// state, which Decide (Apply path) also touches. The buffer
 		// means the reviewer still mostly hits ready groups.
-		g, ok := sess.NextGroup()
+		g, ok := sess.NextGroupCtx(ctx)
 		now := sess.Timings()
 		s.metrics.observePhases(lastTimings, now)
 		lastTimings = now
@@ -831,7 +856,7 @@ func (cs *columnSession) run(s *Service) {
 		// re-derives the same group on replay (generation is
 		// deterministic); an unlogged group must never be decided, or
 		// the WAL could not replay the decision.
-		if err := s.store.AppendWAL(cs.datasetID, cs.id, store.WALRecord{Op: store.OpIssue, GroupID: g.ID}); err != nil {
+		if err := s.store.AppendWAL(ctx, cs.datasetID, cs.id, store.WALRecord{Op: store.OpIssue, GroupID: g.ID}); err != nil {
 			// Stop producing but stay registered and decidable: issued
 			// groups are still reviewable, the column slot stays owned
 			// (a replacement session would corrupt the durable log's
@@ -857,12 +882,12 @@ func (cs *columnSession) run(s *Service) {
 // were issued but undecided at the time of passivation — the restored
 // pending buffer. The session is not yet published, so no lock is held;
 // applyMu still orders the replayed applies against exports.
-func (cs *columnSession) replay(s *Service, sess *goldrec.Session) ([]*goldrec.Group, error) {
+func (cs *columnSession) replay(ctx context.Context, s *Service, sess *goldrec.Session) ([]*goldrec.Group, error) {
 	var pending []*goldrec.Group
-	err := s.store.ReplayWAL(cs.datasetID, cs.id, func(rec store.WALRecord) error {
+	err := s.store.ReplayWAL(ctx, cs.datasetID, cs.id, func(rec store.WALRecord) error {
 		switch rec.Op {
 		case store.OpIssue:
-			g, ok := sess.NextGroup()
+			g, ok := sess.NextGroupCtx(ctx)
 			if !ok {
 				return fmt.Errorf("issue record %d: group stream exhausted early", rec.GroupID)
 			}
@@ -1221,7 +1246,7 @@ func chanClosed(c <-chan struct{}) bool {
 // A tenant-scoped caller spends one token of its decisions/sec budget
 // per attempt; an empty bucket rejects with RateLimitError before any
 // work is done (unscoped callers are never rate limited).
-func (s *Service) decide(owner, id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
+func (s *Service) decide(ctx context.Context, owner, id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
 	switch decision {
 	case goldrec.Approved, goldrec.ApprovedBackward, goldrec.Rejected:
 	default:
@@ -1274,7 +1299,7 @@ func (s *Service) decide(owner, id string, groupID int, decision goldrec.Decisio
 		return DecisionResult{}, fmt.Errorf("%w: group %d is not awaiting a decision", ErrConflict, groupID)
 	}
 	rec := store.WALRecord{Op: store.OpDecide, GroupID: groupID, Decision: decision.String()}
-	if err := s.store.AppendWAL(cs.datasetID, cs.id, rec); err != nil {
+	if err := s.store.AppendWAL(ctx, cs.datasetID, cs.id, rec); err != nil {
 		return DecisionResult{}, fmt.Errorf("%w: logging decision: %v", ErrStorage, err)
 	}
 	cs.d.applyMu.RLock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -45,16 +46,29 @@ func (e *RateLimitError) Error() string {
 type Scope struct {
 	svc   *Service
 	owner string
+	ctx   context.Context
 }
 
 // As returns the service as seen by the given tenant ("" = unscoped).
-func (s *Service) As(owner string) Scope { return Scope{svc: s, owner: owner} }
+func (s *Service) As(owner string) Scope {
+	return Scope{svc: s, owner: owner, ctx: context.Background()}
+}
+
+// WithContext returns the scope bound to a request context, so trace
+// spans opened by the layers below (engine phases, store WAL writes)
+// attach to the request's trace. A nil ctx keeps the background one.
+func (sc Scope) WithContext(ctx context.Context) Scope {
+	if ctx != nil {
+		sc.ctx = ctx
+	}
+	return sc
+}
 
 // Owner returns the scope's tenant id ("" when unscoped).
 func (sc Scope) Owner() string { return sc.owner }
 
 func (sc Scope) CreateDataset(name, keyCol, srcCol string, csv io.Reader) (DatasetInfo, error) {
-	return sc.svc.createDataset(sc.owner, name, keyCol, srcCol, csv)
+	return sc.svc.createDataset(sc.ctx, sc.owner, name, keyCol, srcCol, csv)
 }
 
 func (sc Scope) GetDataset(id string) (DatasetInfo, error) {
@@ -66,7 +80,7 @@ func (sc Scope) ListDatasets() []DatasetInfo { return sc.svc.listDatasets(sc.own
 func (sc Scope) DeleteDataset(id string) error { return sc.svc.deleteDataset(sc.owner, id) }
 
 func (sc Scope) OpenSession(datasetID, column string) (SessionInfo, error) {
-	return sc.svc.openSession(sc.owner, datasetID, column)
+	return sc.svc.openSession(sc.ctx, sc.owner, datasetID, column)
 }
 
 func (sc Scope) GetSession(id string) (SessionInfo, error) {
@@ -82,7 +96,7 @@ func (sc Scope) PendingGroups(id string, limit int, wait <-chan struct{}) (Group
 }
 
 func (sc Scope) Decide(id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
-	return sc.svc.decide(sc.owner, id, groupID, decision)
+	return sc.svc.decide(sc.ctx, sc.owner, id, groupID, decision)
 }
 
 func (sc Scope) ReviewState(id string) (goldrec.ReviewState, error) {

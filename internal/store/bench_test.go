@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -49,7 +50,7 @@ func BenchmarkWALAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer s.Close()
-			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
+			if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
 				b.Fatal(err)
 			}
 			if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
@@ -58,7 +59,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			rec := WALRecord{Op: OpDecide, GroupID: 1, Decision: "approve"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := s.AppendWAL("ds_0a", "cs_01", rec); err != nil {
+				if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", rec); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -86,7 +87,7 @@ func BenchmarkSnapshotEncode(b *testing.B) {
 			b.SetBytes(int64(len(raw)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := s.PutDataset(meta, ds); err != nil {
+				if err := s.PutDataset(context.Background(), meta, ds); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -109,7 +110,7 @@ func BenchmarkSnapshotDecode(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer s.Close()
-			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, ds); err != nil {
+			if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, ds); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(len(raw)))
@@ -133,7 +134,7 @@ func BenchmarkWALReplay(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer s.Close()
-			if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
+			if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
 				b.Fatal(err)
 			}
 			if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
@@ -144,14 +145,14 @@ func BenchmarkWALReplay(b *testing.B) {
 				if i%2 == 1 {
 					rec = WALRecord{Op: OpDecide, GroupID: i / 2, Decision: "approve"}
 				}
-				if err := s.AppendWAL("ds_0a", "cs_01", rec); err != nil {
+				if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", rec); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				count := 0
-				if err := s.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error {
+				if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(WALRecord) error {
 					count++
 					return nil
 				}); err != nil {

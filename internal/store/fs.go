@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/table"
 )
 
@@ -281,7 +283,7 @@ func pruneSnapshots(dir string, keep int) {
 }
 
 // PutDataset writes the dataset meta and its version-1 snapshot.
-func (s *FS) PutDataset(meta DatasetMeta, ds *table.Dataset) error {
+func (s *FS) PutDataset(ctx context.Context, meta DatasetMeta, ds *table.Dataset) error {
 	if err := checkID(meta.ID); err != nil {
 		return err
 	}
@@ -298,9 +300,14 @@ func (s *FS) PutDataset(meta DatasetMeta, ds *table.Dataset) error {
 		return err
 	}
 	start := time.Now()
+	_, snapSpan := trace.StartSpan(ctx, "snapshot_write")
+	snapSpan.Annotate("bytes", strconv.Itoa(len(snapJSON)))
 	if err := s.writeFileAtomic(snapshotPath(dir, 1), snapJSON); err != nil {
+		snapSpan.Fail(err.Error())
+		snapSpan.End()
 		return fmt.Errorf("store: dataset %s snapshot: %w", meta.ID, err)
 	}
+	snapSpan.End()
 	s.snapWrite.ObserveSince(start)
 	if err := s.writeFileAtomic(filepath.Join(dir, "meta.json"), metaJSON); err != nil {
 		return fmt.Errorf("store: dataset %s meta: %w", meta.ID, err)
@@ -554,7 +561,7 @@ func repairWALTail(path string) error {
 }
 
 // AppendWAL durably appends one record to the session's log.
-func (s *FS) AppendWAL(datasetID, sessionID string, rec WALRecord) error {
+func (s *FS) AppendWAL(ctx context.Context, datasetID, sessionID string, rec WALRecord) error {
 	if err := checkID(datasetID); err != nil {
 		return err
 	}
@@ -574,28 +581,38 @@ func (s *FS) AppendWAL(datasetID, sessionID string, rec WALRecord) error {
 	// O_APPEND makes concurrent appends to *different* sessions safe and
 	// the per-session caller already serializes same-session appends.
 	start := time.Now()
+	_, wsp := trace.StartSpan(ctx, "wal_append")
 	if _, err := f.Write(line); err != nil {
+		wsp.Fail(err.Error())
+		wsp.End()
 		return fmt.Errorf("store: session %s wal append: %w", sessionID, err)
 	}
+	wsp.End()
 	s.walAppend.ObserveSince(start)
 	if !s.opts.NoSync {
 		start = time.Now()
+		_, fsp := trace.StartSpan(ctx, "wal_fsync")
 		if err := f.Sync(); err != nil {
+			fsp.Fail(err.Error())
+			fsp.End()
 			return fmt.Errorf("store: session %s wal sync: %w", sessionID, err)
 		}
+		fsp.End()
 		s.walFsync.ObserveSince(start)
 	}
 	return nil
 }
 
 // ReplayWAL streams the session's log in append order.
-func (s *FS) ReplayWAL(datasetID, sessionID string, fn func(WALRecord) error) error {
+func (s *FS) ReplayWAL(ctx context.Context, datasetID, sessionID string, fn func(WALRecord) error) error {
 	if err := checkID(datasetID); err != nil {
 		return err
 	}
 	if err := checkID(sessionID); err != nil {
 		return err
 	}
+	_, rsp := trace.StartSpan(ctx, "wal_replay")
+	defer rsp.End()
 	defer s.walReplay.ObserveSince(time.Now())
 	raw, err := os.ReadFile(filepath.Join(s.sessionDir(datasetID, sessionID), "wal.jsonl"))
 	if errors.Is(err, fs.ErrNotExist) {

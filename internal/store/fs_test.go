@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -40,7 +41,7 @@ func TestFSDatasetRoundTrip(t *testing.T) {
 	s := openTestFS(t)
 	ds := testDataset()
 	meta := DatasetMeta{ID: "ds_0a1b", Name: "paper", KeyCol: "key", Created: time.Unix(1700000000, 0).UTC()}
-	if err := s.PutDataset(meta, ds); err != nil {
+	if err := s.PutDataset(context.Background(), meta, ds); err != nil {
 		t.Fatal(err)
 	}
 
@@ -77,13 +78,13 @@ func TestFSDatasetRoundTrip(t *testing.T) {
 func TestFSRejectsBadIDs(t *testing.T) {
 	s := openTestFS(t)
 	for _, id := range []string{"", "../etc", "ds_..", "ds_XYZ", "nope", "ds_1/../.."} {
-		if err := s.PutDataset(DatasetMeta{ID: id}, testDataset()); err == nil {
+		if err := s.PutDataset(context.Background(), DatasetMeta{ID: id}, testDataset()); err == nil {
 			t.Errorf("PutDataset accepted id %q", id)
 		}
 		if _, _, err := s.LoadDataset(id); err == nil {
 			t.Errorf("LoadDataset accepted id %q", id)
 		}
-		if err := s.AppendWAL("ds_0a", id, WALRecord{Op: OpIssue}); err == nil {
+		if err := s.AppendWAL(context.Background(), "ds_0a", id, WALRecord{Op: OpIssue}); err == nil {
 			t.Errorf("AppendWAL accepted session id %q", id)
 		}
 		// On the lookup paths a malformed id is a miss, not an internal
@@ -100,7 +101,7 @@ func TestFSRejectsBadIDs(t *testing.T) {
 
 func TestFSSessionsAndWAL(t *testing.T) {
 	s := openTestFS(t)
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", Name: "d", KeyCol: "k"}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", Name: "d", KeyCol: "k"}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	sm := SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name", Created: time.Unix(1700000001, 0).UTC()}
@@ -115,13 +116,13 @@ func TestFSSessionsAndWAL(t *testing.T) {
 		{Op: OpDecide, GroupID: 1, Decision: "reject"},
 	}
 	for _, r := range recs {
-		if err := s.AppendWAL("ds_0a", "cs_01", r); err != nil {
+		if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", r); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	var got []WALRecord
-	if err := s.ReplayWAL("ds_0a", "cs_01", func(r WALRecord) error {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(r WALRecord) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -140,7 +141,7 @@ func TestFSSessionsAndWAL(t *testing.T) {
 	if err := s.PutSession(SessionMeta{ID: "cs_02", DatasetID: "ds_0a", Column: "Address"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReplayWAL("ds_0a", "cs_02", func(WALRecord) error {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_02", func(WALRecord) error {
 		t.Fatal("unexpected record")
 		return nil
 	}); err != nil {
@@ -171,13 +172,13 @@ func TestFSSessionsAndWAL(t *testing.T) {
 // line is dropped, while corruption mid-file is reported.
 func TestFSReplayTornTail(t *testing.T) {
 	s := openTestFS(t)
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 	wal := filepath.Join(s.Root(), "datasets", "ds_0a", "sessions", "cs_01", "wal.jsonl")
@@ -191,7 +192,7 @@ func TestFSReplayTornTail(t *testing.T) {
 	f.Close()
 
 	var got []WALRecord
-	if err := s.ReplayWAL("ds_0a", "cs_01", func(r WALRecord) error {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(r WALRecord) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -206,11 +207,11 @@ func TestFSReplayTornTail(t *testing.T) {
 	if err := s.CloseWAL("ds_0a", "cs_01"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpDecide, GroupID: 0, Decision: "approve"}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpDecide, GroupID: 0, Decision: "approve"}); err != nil {
 		t.Fatal(err)
 	}
 	got = nil
-	if err := s.ReplayWAL("ds_0a", "cs_01", func(r WALRecord) error {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(r WALRecord) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -224,7 +225,7 @@ func TestFSReplayTornTail(t *testing.T) {
 	if err := os.WriteFile(wal, []byte("garbage\n{\"op\":\"issue\",\"group\":0}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error { return nil }); err == nil {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(WALRecord) error { return nil }); err == nil {
 		t.Fatal("mid-file corruption not reported")
 	}
 }
@@ -234,7 +235,7 @@ func TestFSReplayTornTail(t *testing.T) {
 // prevents the write-same-version race).
 func TestFSConcurrentCompaction(t *testing.T) {
 	s := openTestFS(t)
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
@@ -270,13 +271,13 @@ func TestFSConcurrentCompaction(t *testing.T) {
 func TestFSCompactSession(t *testing.T) {
 	s := openTestFS(t)
 	ds := testDataset()
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, ds); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, ds); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -299,7 +300,7 @@ func TestFSCompactSession(t *testing.T) {
 	}
 
 	// The WAL is gone, the meta reads compacted, the state is archived.
-	if err := s.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error {
+	if err := s.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(WALRecord) error {
 		t.Fatal("WAL survived compaction")
 		return nil
 	}); err != nil {
@@ -349,14 +350,14 @@ func TestFSCompactSession(t *testing.T) {
 // write and the cleanup steps) must still read as compacted.
 func TestFSCompactCommitPoint(t *testing.T) {
 	s := openTestFS(t)
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	sm := SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}
 	if err := s.PutSession(sm); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 	values := [][]string{{"a", "a"}, {"b"}}
@@ -365,7 +366,7 @@ func TestFSCompactCommitPoint(t *testing.T) {
 	}
 
 	// Simulate the crash: resurrect a WAL and revert the meta flag.
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(sm); err != nil { // Compacted=false again
@@ -388,13 +389,13 @@ func TestFSSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutDataset(DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpIssue, GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -407,18 +408,18 @@ func TestFSSurvivesReopen(t *testing.T) {
 	}
 	defer s2.Close()
 	var n int
-	if err := s2.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error { n++; return nil }); err != nil {
+	if err := s2.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(WALRecord) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d records after reopen, want 1", n)
 	}
 	// Appending after reopen continues the same log.
-	if err := s2.AppendWAL("ds_0a", "cs_01", WALRecord{Op: OpDecide, GroupID: 0, Decision: "reject"}); err != nil {
+	if err := s2.AppendWAL(context.Background(), "ds_0a", "cs_01", WALRecord{Op: OpDecide, GroupID: 0, Decision: "reject"}); err != nil {
 		t.Fatal(err)
 	}
 	n = 0
-	if err := s2.ReplayWAL("ds_0a", "cs_01", func(WALRecord) error { n++; return nil }); err != nil {
+	if err := s2.ReplayWAL(context.Background(), "ds_0a", "cs_01", func(WALRecord) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 2 {

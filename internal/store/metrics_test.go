@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -18,19 +19,19 @@ func TestFSMetrics(t *testing.T) {
 	}
 	defer s.Close()
 
-	if err := s.PutDataset(DatasetMeta{ID: "ds_01", Name: "paper", Created: time.Now()}, testDataset()); err != nil {
+	if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_01", Name: "paper", Created: time.Now()}, testDataset()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := s.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: i}); err != nil {
+		if err := s.AppendWAL(context.Background(), "ds_01", "cs_01", WALRecord{GroupID: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	replayed := 0
-	if err := s.ReplayWAL("ds_01", "cs_01", func(WALRecord) error { replayed++; return nil }); err != nil {
+	if err := s.ReplayWAL(context.Background(), "ds_01", "cs_01", func(WALRecord) error { replayed++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if replayed != 3 {
@@ -65,7 +66,7 @@ func TestFSMetricsNoSync(t *testing.T) {
 	if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
+	if err := s.AppendWAL(context.Background(), "ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 	for _, sample := range reg.Snapshot() {
@@ -83,7 +84,7 @@ func TestFSMetricsNoSync(t *testing.T) {
 	if err := s2.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_01", Created: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.AppendWAL("ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
+	if err := s2.AppendWAL(context.Background(), "ds_01", "cs_01", WALRecord{GroupID: 0}); err != nil {
 		t.Fatal(err)
 	}
 }

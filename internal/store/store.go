@@ -27,6 +27,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -93,8 +94,10 @@ type WALRecord struct {
 type Store interface {
 	// PutDataset writes the dataset's meta and its version-1 snapshot.
 	// It is called once, at upload time, before any session can mutate
-	// the dataset.
-	PutDataset(meta DatasetMeta, ds *table.Dataset) error
+	// the dataset. The context carries the request's trace span (if
+	// any); backends never use it for cancellation — a durability write
+	// must not be torn by a disconnecting client.
+	PutDataset(ctx context.Context, meta DatasetMeta, ds *table.Dataset) error
 	// LoadDataset returns the meta and the latest snapshot.
 	LoadDataset(id string) (DatasetMeta, *table.Dataset, error)
 	// ListDatasets returns every persisted dataset's meta, oldest first.
@@ -117,12 +120,13 @@ type Store interface {
 
 	// AppendWAL durably appends one record to the session's log. The
 	// record must be on stable storage (or as close as the backend
-	// promises; see FSOptions.NoSync) when the call returns.
-	AppendWAL(datasetID, sessionID string, rec WALRecord) error
+	// promises; see FSOptions.NoSync) when the call returns. The
+	// context carries tracing only, as on PutDataset.
+	AppendWAL(ctx context.Context, datasetID, sessionID string, rec WALRecord) error
 	// ReplayWAL streams the session's log in append order. A torn final
 	// record (from a crash mid-append) is silently dropped; corruption
 	// anywhere else is an error. A missing WAL replays zero records.
-	ReplayWAL(datasetID, sessionID string, fn func(WALRecord) error) error
+	ReplayWAL(ctx context.Context, datasetID, sessionID string, fn func(WALRecord) error) error
 	// CloseWAL releases any cached handle for the session's log, e.g.
 	// when the owning session is evicted. Appending later reopens it.
 	CloseWAL(datasetID, sessionID string) error
@@ -171,7 +175,7 @@ type Null struct{}
 
 var _ Store = Null{}
 
-func (Null) PutDataset(DatasetMeta, *table.Dataset) error { return nil }
+func (Null) PutDataset(context.Context, DatasetMeta, *table.Dataset) error { return nil }
 func (Null) LoadDataset(string) (DatasetMeta, *table.Dataset, error) {
 	return DatasetMeta{}, nil, ErrNotExist
 }
@@ -183,9 +187,9 @@ func (Null) ListSessions(string) ([]SessionMeta, error) { return nil, nil }
 func (Null) FindSession(string) (SessionMeta, error)    { return SessionMeta{}, ErrNotExist }
 func (Null) DeleteSession(string, string) error         { return nil }
 
-func (Null) AppendWAL(string, string, WALRecord) error             { return nil }
-func (Null) ReplayWAL(string, string, func(WALRecord) error) error { return nil }
-func (Null) CloseWAL(string, string) error                         { return nil }
+func (Null) AppendWAL(context.Context, string, string, WALRecord) error             { return nil }
+func (Null) ReplayWAL(context.Context, string, string, func(WALRecord) error) error { return nil }
+func (Null) CloseWAL(string, string) error                                          { return nil }
 
 func (Null) CompactSession(string, string, int, [][]string, []byte) error { return nil }
 func (Null) LoadSessionState(string, string) ([]byte, error)              { return nil, ErrNotExist }

@@ -1,6 +1,7 @@
 package goldrec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -233,7 +234,7 @@ func (s *Session) record(g *Group, d Decision, applied ApplyStats) {
 	}
 }
 
-func newSession(cons *Consolidator, col int) *Session {
+func newSession(ctx context.Context, cons *Consolidator, col int) *Session {
 	s := &Session{cons: cons, col: col}
 	s.store = replace.NewStore(cons.ds, col, replace.Options{
 		TokenLevel:  cons.cfg.tokenCandidates,
@@ -244,7 +245,7 @@ func newSession(cons *Consolidator, col int) *Session {
 	for _, c := range cands {
 		reps = append(reps, core.Rep{S: c.LHS, T: c.RHS, Ext: c.ID})
 	}
-	s.eng = core.NewEngine(reps, core.Options{
+	s.eng = core.NewEngineCtx(ctx, reps, core.Options{
 		Graph: tgraph.Options{
 			NoAffix:       !cons.cfg.affix,
 			MaxStringLen:  cons.cfg.maxStringLen,
@@ -308,8 +309,16 @@ func (s *Session) issue(g *Group) *Group {
 // the algorithm is Incremental; otherwise the next entry of the upfront
 // list). ok is false when no groups remain.
 func (s *Session) NextGroup() (*Group, bool) {
+	return s.NextGroupCtx(context.Background())
+}
+
+// NextGroupCtx is NextGroup carrying a trace context: the engine's
+// group_search (and any lazy graph_build) work records as child spans
+// of whatever span the context holds. With a plain context it behaves
+// exactly like NextGroup.
+func (s *Session) NextGroupCtx(ctx context.Context) (*Group, bool) {
 	if s.cons.cfg.algorithm == Incremental {
-		g := s.eng.NextGroup()
+		g := s.eng.NextGroupCtx(ctx)
 		if g == nil {
 			s.exhausted = true
 			return nil, false
@@ -317,7 +326,7 @@ func (s *Session) NextGroup() (*Group, bool) {
 		return s.issue(s.publicGroup(g)), true
 	}
 	if !s.upfrontSet {
-		s.upfront = s.eng.AllGroups(s.mode())
+		s.upfront = s.eng.AllGroupsCtx(ctx, s.mode())
 		s.upfrontSet = true
 	}
 	if len(s.upfront) == 0 {
