@@ -13,6 +13,12 @@
 //
 //	benchjson -baseline BENCH_service.json -threshold 0.25 -match 'ConcurrentDecide|RegistryUnderSweep' fresh.json
 //
+// Gate same-run ratios between benchmarks — robust where absolute ns/op
+// is machine-dependent (e.g. two fsync-bound legs scale with the same
+// disk, so their quotient is stable across runners):
+//
+//	benchjson -ratio 'WALGroupCommit/sync/writers=8 / WALAppend/sync <= 0.2' fresh.json
+//
 // With -count > 1 the best run wins: minimum for ns/op, B/op and
 // allocs/op; maximum for custom rate metrics (units ending in "/s").
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
@@ -191,6 +197,79 @@ func compare(base, doc Doc, match *regexp.Regexp, threshold float64) (string, bo
 	return report, ok
 }
 
+// ratioAssertion is one parsed "nameA / nameB <= factor" expression.
+type ratioAssertion struct {
+	num, den string
+	max      float64
+}
+
+// parseRatios parses semicolon-separated "nameA / nameB <= factor"
+// assertions. The separator is " / " (with spaces) because benchmark
+// names themselves contain slashes.
+func parseRatios(s string) ([]ratioAssertion, error) {
+	var out []ratioAssertion
+	for _, expr := range strings.Split(s, ";") {
+		expr = strings.TrimSpace(expr)
+		if expr == "" {
+			continue
+		}
+		lhs, bound, ok := strings.Cut(expr, "<=")
+		if !ok {
+			return nil, fmt.Errorf("ratio %q: missing <=", expr)
+		}
+		num, den, ok := strings.Cut(lhs, " / ")
+		if !ok {
+			return nil, fmt.Errorf("ratio %q: numerator and denominator must be separated by \" / \"", expr)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(bound), 64)
+		if err != nil || max <= 0 {
+			return nil, fmt.Errorf("ratio %q: bad bound %q", expr, bound)
+		}
+		out = append(out, ratioAssertion{
+			num: strings.TrimSpace(num),
+			den: strings.TrimSpace(den),
+			max: max,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ratio assertions in %q", s)
+	}
+	return out, nil
+}
+
+// checkRatios evaluates the assertions against doc's ns/op numbers.
+// Both benchmarks of each assertion come from the same run, so the
+// check holds on any machine whose legs scale together.
+func checkRatios(doc Doc, ratios []ratioAssertion) (string, bool) {
+	byName := map[string]Benchmark{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	ok := true
+	var rows []string
+	for _, r := range ratios {
+		num, okN := byName[r.num]
+		den, okD := byName[r.den]
+		if !okN || !okD {
+			missing := r.num
+			if okN {
+				missing = r.den
+			}
+			rows = append(rows, fmt.Sprintf("%s / %s <= %.3g  MISSING %s", r.num, r.den, r.max, missing))
+			ok = false
+			continue
+		}
+		got := num.NsPerOp / den.NsPerOp
+		status := "ok"
+		if got > r.max {
+			status = "VIOLATION"
+			ok = false
+		}
+		rows = append(rows, fmt.Sprintf("%s / %s = %.3f (bound %.3g)  %s", r.num, r.den, got, r.max, status))
+	}
+	return strings.Join(rows, "\n"), ok
+}
+
 func readDoc(path string) (Doc, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -211,38 +290,58 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		baseline  = fs.String("baseline", "", "compare mode: baseline JSON to gate against")
 		threshold = fs.Float64("threshold", 0.25, "compare mode: allowed relative ns/op regression")
 		match     = fs.String("match", "", "compare mode: regexp selecting gated benchmark names (empty = all)")
+		ratio     = fs.String("ratio", "", "gate same-run ratios: semicolon-separated 'nameA / nameB <= factor' over the fresh results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *baseline != "" {
+	if *baseline != "" || *ratio != "" {
 		if fs.NArg() != 1 {
 			fmt.Fprintln(stderr, "benchjson: compare mode needs exactly one fresh-results file")
 			return 2
-		}
-		base, err := readDoc(*baseline)
-		if err != nil {
-			fmt.Fprintln(stderr, "benchjson:", err)
-			return 1
 		}
 		doc, err := readDoc(fs.Arg(0))
 		if err != nil {
 			fmt.Fprintln(stderr, "benchjson:", err)
 			return 1
 		}
-		var re *regexp.Regexp
-		if *match != "" {
-			re, err = regexp.Compile(*match)
+		pass := true
+		if *baseline != "" {
+			base, err := readDoc(*baseline)
 			if err != nil {
-				fmt.Fprintln(stderr, "benchjson: bad -match:", err)
-				return 2
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 1
+			}
+			var re *regexp.Regexp
+			if *match != "" {
+				re, err = regexp.Compile(*match)
+				if err != nil {
+					fmt.Fprintln(stderr, "benchjson: bad -match:", err)
+					return 2
+				}
+			}
+			report, ok := compare(base, doc, re, *threshold)
+			fmt.Fprintln(stdout, report)
+			if !ok {
+				fmt.Fprintf(stderr, "benchjson: benchmark gate failed (threshold %+.0f%%)\n", *threshold*100)
+				pass = false
 			}
 		}
-		report, ok := compare(base, doc, re, *threshold)
-		fmt.Fprintln(stdout, report)
-		if !ok {
-			fmt.Fprintf(stderr, "benchjson: benchmark gate failed (threshold %+.0f%%)\n", *threshold*100)
+		if *ratio != "" {
+			ratios, err := parseRatios(*ratio)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 2
+			}
+			report, ok := checkRatios(doc, ratios)
+			fmt.Fprintln(stdout, report)
+			if !ok {
+				fmt.Fprintln(stderr, "benchjson: ratio gate failed")
+				pass = false
+			}
+		}
+		if !pass {
 			return 1
 		}
 		return 0

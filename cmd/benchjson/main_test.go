@@ -112,6 +112,52 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestRatioGate(t *testing.T) {
+	dir := t.TempDir()
+	doc := Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkWALAppend/sync", Runs: 1, NsPerOp: 120000},
+		{Name: "BenchmarkWALGroupCommit/sync/writers=8", Runs: 1, NsPerOp: 18000},
+	}}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fresh.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 18000/120000 = 0.15: within a 0.2 bound, beyond a 0.1 bound.
+	var out, errOut bytes.Buffer
+	ratio := "BenchmarkWALGroupCommit/sync/writers=8 / BenchmarkWALAppend/sync <= 0.2"
+	if code := run([]string{"-ratio", ratio, path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("ratio 0.15 vs bound 0.2: exit %d, stderr %s", code, errOut.String())
+	}
+	out.Reset()
+	tight := "BenchmarkWALGroupCommit/sync/writers=8 / BenchmarkWALAppend/sync <= 0.1"
+	if code := run([]string{"-ratio", tight, path}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("ratio 0.15 vs bound 0.1: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "VIOLATION") {
+		t.Fatalf("report lacks VIOLATION marker:\n%s", out.String())
+	}
+
+	// A ratio naming an absent benchmark fails loudly.
+	out.Reset()
+	gone := "BenchmarkNope / BenchmarkWALAppend/sync <= 1"
+	if code := run([]string{"-ratio", gone, path}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("missing benchmark in ratio: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("report lacks MISSING marker:\n%s", out.String())
+	}
+
+	// Malformed expressions are usage errors.
+	if code := run([]string{"-ratio", "no separators", path}, nil, &out, &errOut); code != 2 {
+		t.Fatalf("malformed ratio: exit %d, want 2", code)
+	}
+}
+
 func TestConvertRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	outPath := filepath.Join(dir, "out.json")

@@ -19,6 +19,11 @@ import (
 // empty page back instead of an idle-timeout error.
 const maxWait = 25 * time.Second
 
+// maxLongPoll caps an explicit wait=<duration> long poll. Durations
+// above it are clamped, not rejected — a client asking for wait=5m
+// gets the longest poll the server is willing to hold.
+const maxLongPoll = 60 * time.Second
+
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz
@@ -33,11 +38,17 @@ const maxWait = 25 * time.Second
 //	GET    /v1/sessions
 //	GET    /v1/sessions/{id}
 //	DELETE /v1/sessions/{id}
-//	GET    /v1/sessions/{id}/groups?limit=N&wait=true
+//	GET    /v1/sessions/{id}/groups?limit=N&wait=true|30s
 //	GET    /v1/sessions/{id}/state
 //	POST   /v1/sessions/{id}/decisions          (body: DecisionRequest)
+//	GET    /v1/datasets/{id}/sessions/{sid}/groups?limit=N&wait=30s
+//	POST   /v1/datasets/{id}/sessions/{sid}/decisions (body: BatchDecisionsRequest)
 //	GET    /v1/plan?budget=N
 //	GET    /v1/datasets/{id}/plan?budget=N
+//
+// Errors share one envelope: {"error", "code", "request_id",
+// "trace_id"} — code is a stable machine-readable slug (see errorCode),
+// error the human-readable detail.
 //
 // With multi-tenancy enabled (Options.Tenants) the /v1/tenants admin
 // API is mounted too (see registerTenantAPI), every /v1 request must
@@ -95,6 +106,8 @@ func (s *Service) Handler() http.Handler {
 		respond(w, st, err)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/decisions", s.handleDecision)
+	mux.HandleFunc("GET /v1/datasets/{id}/sessions/{sid}/groups", s.handleGroups)
+	mux.HandleFunc("POST /v1/datasets/{id}/sessions/{sid}/decisions", s.handleBatchDecisions)
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/datasets/{id}/plan", s.handlePlan)
 	if s.opts.Tenants != nil {
@@ -170,6 +183,28 @@ func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// parseWait interprets the wait query parameter. "1"/"true" keep the
+// original semantics (block up to maxWait, always answer 200 with a
+// page, possibly empty). A duration like "30s" is an explicit long
+// poll: block up to that long (clamped to maxLongPoll), and a timeout
+// with still nothing to review answers 204 No Content — the cheap
+// "nothing yet, ask again" signal that replaces busy-polling.
+func parseWait(v string) (d time.Duration, longPoll bool, err error) {
+	if v == "1" || v == "true" {
+		return maxWait, false, nil
+	}
+	d, perr := time.ParseDuration(v)
+	if perr != nil || d <= 0 {
+		return 0, false, fmt.Errorf("bad wait %q (use true or a positive duration like 30s)", v)
+	}
+	if d > maxLongPoll {
+		d = maxLongPoll
+	}
+	return d, true, nil
+}
+
+// handleGroups serves both the session route (/v1/sessions/{id}/groups)
+// and the dataset-scoped route (/v1/datasets/{id}/sessions/{sid}/groups).
 func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	limit := 0
@@ -182,13 +217,51 @@ func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	var wait <-chan struct{}
-	if v := q.Get("wait"); v == "1" || v == "true" {
-		ctx, cancel := context.WithTimeout(r.Context(), maxWait)
+	longPoll := false
+	if v := q.Get("wait"); v != "" {
+		d, lp, err := parseWait(v)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		longPoll = lp
+		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		wait = ctx.Done()
 	}
-	page, err := s.scope(r).PendingGroups(r.PathValue("id"), limit, wait)
-	respond(w, page, err)
+	var page GroupPage
+	var err error
+	if sid := r.PathValue("sid"); sid != "" {
+		page, err = s.scope(r).SessionPendingGroups(r.PathValue("id"), sid, limit, wait)
+	} else {
+		page, err = s.scope(r).PendingGroups(r.PathValue("id"), limit, wait)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// A long poll that timed out with nothing reviewable — and the
+	// session still working — is 204, not an empty page: the client
+	// just re-issues the request. Exhausted/stalled sessions return
+	// the page so the caller sees the terminal status.
+	if longPoll && len(page.Groups) == 0 &&
+		(page.Status == StatusReviewing || page.Status == StatusInitializing) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleBatchDecisions is the batched ingest endpoint: many decisions,
+// validated whole, applied under one WAL group commit.
+func (s *Service) handleBatchDecisions(w http.ResponseWriter, r *http.Request) {
+	var req BatchDecisionsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	res, err := s.scope(r).DecideBatch(r.PathValue("id"), r.PathValue("sid"), req.Decisions)
+	respond(w, res, err)
 }
 
 func (s *Service) handleDecision(w http.ResponseWriter, r *http.Request) {
@@ -246,26 +319,43 @@ func respondNoContent(w http.ResponseWriter, err error) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorCode maps an error to the envelope's stable machine-readable
+// slug and HTTP status. The slugs are API surface: clients branch on
+// code, never on the human-readable error text.
+func errorCode(err error) (status int, code string) {
 	var tooLarge *http.MaxBytesError
 	var rateLimited *RateLimitError
 	switch {
 	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrConflict):
-		status = http.StatusConflict
+		return http.StatusConflict, "conflict"
 	case errors.Is(err, ErrLimit):
-		status = http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "session_limit"
 	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "service_closed"
 	case errors.Is(err, ErrStorage):
-		status = http.StatusInternalServerError
+		return http.StatusInternalServerError, "storage_failure"
 	case errors.Is(err, ErrUnauthorized):
-		status = http.StatusUnauthorized
-	case errors.Is(err, ErrForbidden), errors.Is(err, ErrQuota):
-		status = http.StatusForbidden
+		return http.StatusUnauthorized, "unauthorized"
+	case errors.Is(err, ErrForbidden):
+		return http.StatusForbidden, "forbidden"
+	case errors.Is(err, ErrQuota):
+		return http.StatusForbidden, "quota_exceeded"
 	case errors.As(err, &rateLimited):
+		return http.StatusTooManyRequests, "rate_limited"
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge, "payload_too_large"
+	}
+	return http.StatusBadRequest, "bad_request"
+}
+
+// writeError renders every handler failure as the one documented
+// envelope: {"error", "code", "request_id", "trace_id"}.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	var rateLimited *RateLimitError
+	if errors.As(err, &rateLimited) {
 		// Retry-After is whole seconds, rounded up so the client never
 		// retries into a still-empty bucket.
 		secs := int64((rateLimited.RetryAfter + time.Second - 1) / time.Second)
@@ -273,11 +363,8 @@ func writeError(w http.ResponseWriter, err error) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		status = http.StatusTooManyRequests
-	case errors.As(err, &tooLarge):
-		status = http.StatusRequestEntityTooLarge
 	}
-	body := map[string]string{"error": err.Error()}
+	body := map[string]string{"error": err.Error(), "code": code}
 	// The middleware stamps X-Request-ID (and X-Trace-ID when tracing
 	// is on) on the response before the handler runs; echoing them in
 	// the body lets clients quote the ids when reporting a failure —

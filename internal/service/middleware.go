@@ -40,26 +40,28 @@ func isIDSegment(s string) bool {
 // else collapses to "other" so a path-scanning client cannot grow the
 // metric label space.
 var knownRoutes = map[string]bool{
-	"/healthz":                    true,
-	"/readyz":                     true,
-	"/v1/metrics":                 true,
-	"/metrics/prometheus":         true,
-	"/v1/datasets":                true,
-	"/v1/datasets/{id}":           true,
-	"/v1/datasets/{id}/records":   true,
-	"/v1/datasets/{id}/golden":    true,
-	"/v1/datasets/{id}/sessions":  true,
-	"/v1/datasets/{id}/plan":      true,
-	"/v1/sessions":                true,
-	"/v1/sessions/{id}":           true,
-	"/v1/sessions/{id}/groups":    true,
-	"/v1/sessions/{id}/state":     true,
-	"/v1/sessions/{id}/decisions": true,
-	"/v1/plan":                    true,
-	"/v1/tenants":                 true,
-	"/v1/tenants/{id}":            true,
-	"/v1/tenants/{id}/keys":       true,
-	"/v1/tenants/{id}/quotas":     true,
+	"/healthz":                                  true,
+	"/readyz":                                   true,
+	"/v1/metrics":                               true,
+	"/metrics/prometheus":                       true,
+	"/v1/datasets":                              true,
+	"/v1/datasets/{id}":                         true,
+	"/v1/datasets/{id}/records":                 true,
+	"/v1/datasets/{id}/golden":                  true,
+	"/v1/datasets/{id}/sessions":                true,
+	"/v1/datasets/{id}/sessions/{id}/groups":    true,
+	"/v1/datasets/{id}/sessions/{id}/decisions": true,
+	"/v1/datasets/{id}/plan":                    true,
+	"/v1/sessions":                              true,
+	"/v1/sessions/{id}":                         true,
+	"/v1/sessions/{id}/groups":                  true,
+	"/v1/sessions/{id}/state":                   true,
+	"/v1/sessions/{id}/decisions":               true,
+	"/v1/plan":                                  true,
+	"/v1/tenants":                               true,
+	"/v1/tenants/{id}":                          true,
+	"/v1/tenants/{id}/keys":                     true,
+	"/v1/tenants/{id}/quotas":                   true,
 }
 
 // normalizeRoute maps a request path to a bounded route label: id

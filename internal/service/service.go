@@ -981,6 +981,21 @@ func (s *Service) lookupSession(owner, id string) (*columnSession, error) {
 	return cs, nil
 }
 
+// lookupSessionInDataset is lookupSession for the dataset-scoped
+// routes: the session must belong to the named dataset, and one that
+// does not reads as missing — the dataset id is part of the address,
+// not a hint.
+func (s *Service) lookupSessionInDataset(owner, datasetID, id string) (*columnSession, error) {
+	cs, err := s.lookupSession(owner, id)
+	if err != nil {
+		return nil, err
+	}
+	if cs.datasetID != datasetID {
+		return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	return cs, nil
+}
+
 // getSessionInfo returns a session's info and refreshes its idle timer
 // (and its dataset's).
 func (s *Service) getSessionInfo(owner, id string) (SessionInfo, error) {
@@ -1331,6 +1346,145 @@ func (s *Service) decide(ctx context.Context, owner, id string, groupID int, dec
 	s.metrics.bumpDecisions(cs.owner)
 	s.maybeCompactLocked(cs)
 	return res, nil
+}
+
+// maxBatchDecisions bounds one batched submission. The cap keeps a
+// batch's WAL payload and validation work small, and stays below any
+// sane decisions/sec burst so rate-limited tenants can still get a
+// full batch admitted (AllowDecisions is all-or-nothing).
+const maxBatchDecisions = 256
+
+// decideBatch records many verdicts for one session atomically:
+// validate the whole batch first (ApplyReview-style — a duplicate
+// group id, unknown or already-decided group, or invalid decision
+// rejects everything before any apply), append every decide record in
+// one WAL batch (one write, one fsync), then apply in request order.
+// Tenant-scoped callers spend len(reqs) rate-limit tokens up front,
+// all or nothing.
+func (s *Service) decideBatch(ctx context.Context, owner, datasetID, id string, reqs []DecisionRequest) (BatchDecisionsResult, error) {
+	if len(reqs) == 0 {
+		return BatchDecisionsResult{}, fmt.Errorf("empty batch: at least one decision required")
+	}
+	if len(reqs) > maxBatchDecisions {
+		return BatchDecisionsResult{}, fmt.Errorf("batch of %d decisions exceeds the limit of %d", len(reqs), maxBatchDecisions)
+	}
+	// Parse and dedupe before touching the session: malformed input
+	// should never cost a lock, a rate-limit token or a WAL write.
+	decisions := make([]goldrec.Decision, len(reqs))
+	seen := make(map[int]int, len(reqs))
+	for i, req := range reqs {
+		d, err := goldrec.ParseDecision(req.Decision)
+		if err != nil {
+			return BatchDecisionsResult{}, fmt.Errorf("decision %d (group %d): %w", i, req.GroupID, err)
+		}
+		if d == goldrec.Pending {
+			return BatchDecisionsResult{}, fmt.Errorf("decision %d (group %d): decision must be approve, approve-backward or reject", i, req.GroupID)
+		}
+		if j, dup := seen[req.GroupID]; dup {
+			return BatchDecisionsResult{}, fmt.Errorf("%w: group %d appears twice in the batch (decisions %d and %d)", ErrConflict, req.GroupID, j, i)
+		}
+		seen[req.GroupID] = i
+		decisions[i] = d
+	}
+	cs, err := s.lookupSessionInDataset(owner, datasetID, id)
+	if err != nil {
+		return BatchDecisionsResult{}, err
+	}
+	if owner != "" && s.opts.Tenants != nil {
+		if ok, retry := s.opts.Tenants.AllowDecisions(owner, len(reqs)); !ok {
+			s.metrics.bumpRateLimited(owner)
+			return BatchDecisionsResult{}, &RateLimitError{RetryAfter: retry}
+		}
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return BatchDecisionsResult{}, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	if cs.archived != nil {
+		return BatchDecisionsResult{}, fmt.Errorf("session %s is finished and compacted: %w", id, ErrConflict)
+	}
+	if cs.sess == nil {
+		return BatchDecisionsResult{}, fmt.Errorf("session %s is still initializing: %w", id, ErrConflict)
+	}
+	// Same per-group validation as decide, across the whole batch
+	// before any WAL write: replay must never hit a failing record,
+	// and a reviewer must never get half a submission applied.
+	inPending := make(map[int]bool, len(cs.pending))
+	for _, p := range cs.pending {
+		inPending[p.ID] = true
+	}
+	recs := make([]store.WALRecord, len(reqs))
+	for i, req := range reqs {
+		g, ok := cs.sess.Group(req.GroupID)
+		if !ok {
+			return BatchDecisionsResult{}, fmt.Errorf("%w: no issued group %d (decision %d)", ErrConflict, req.GroupID, i)
+		}
+		if g.Decision() != goldrec.Pending {
+			return BatchDecisionsResult{}, fmt.Errorf("%w: group %d already decided (%s)", ErrConflict, req.GroupID, g.Decision())
+		}
+		if !inPending[req.GroupID] {
+			return BatchDecisionsResult{}, fmt.Errorf("%w: group %d is not awaiting a decision", ErrConflict, req.GroupID)
+		}
+		recs[i] = store.WALRecord{Op: store.OpDecide, GroupID: req.GroupID, Decision: decisions[i].String()}
+	}
+	if err := s.store.BatchAppendWAL(ctx, cs.datasetID, cs.id, recs); err != nil {
+		return BatchDecisionsResult{}, fmt.Errorf("%w: logging decisions: %v", ErrStorage, err)
+	}
+	results := make([]DecisionResult, 0, len(reqs))
+	cs.d.applyMu.RLock()
+	for i, req := range reqs {
+		stats, err := cs.sess.Decide(req.GroupID, decisions[i])
+		if err != nil {
+			cs.d.applyMu.RUnlock()
+			// Unreachable given the validation above (as in decide): the
+			// WAL now holds records the session does not. Surface loudly.
+			return BatchDecisionsResult{}, fmt.Errorf("%w: decision on group %d logged but not applied: %v", ErrStorage, req.GroupID, err)
+		}
+		results = append(results, DecisionResult{
+			GroupID:  req.GroupID,
+			Decision: decisions[i],
+			Applied:  stats,
+			Stats:    cs.sess.Stats(),
+		})
+	}
+	cs.d.applyMu.RUnlock()
+	decided := make(map[int]bool, len(reqs))
+	for _, req := range reqs {
+		decided[req.GroupID] = true
+	}
+	kept := cs.pending[:0]
+	for _, g := range cs.pending {
+		if !decided[g.ID] {
+			kept = append(kept, g)
+		}
+	}
+	cs.pending = kept
+	// Freed buffer slots let the generator pull more groups, and
+	// long-polling group fetches re-check their predicate.
+	cs.cond.Broadcast()
+	res := BatchDecisionsResult{
+		Results:     results,
+		Status:      cs.statusLocked(),
+		Pending:     len(cs.pending),
+		ApproveRate: cs.sess.ApproveRate(),
+		Stats:       cs.sess.Stats(),
+	}
+	for _, g := range cs.pending {
+		res.RemainingGain += float64(g.RemainingSites()) * res.ApproveRate
+	}
+	s.metrics.bumpDecisionsN(cs.owner, len(reqs))
+	s.maybeCompactLocked(cs)
+	return res, nil
+}
+
+// pendingGroupsInDataset is pendingGroups addressed through the
+// dataset-scoped route; the session must belong to the dataset.
+func (s *Service) pendingGroupsInDataset(owner, datasetID, id string, limit int, wait <-chan struct{}) (GroupPage, error) {
+	if _, err := s.lookupSessionInDataset(owner, datasetID, id); err != nil {
+		return GroupPage{}, err
+	}
+	return s.pendingGroups(owner, id, limit, wait)
 }
 
 // maybeCompactLocked folds a finished session (stream exhausted, every

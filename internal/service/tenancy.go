@@ -99,6 +99,14 @@ func (sc Scope) Decide(id string, groupID int, decision goldrec.Decision) (Decis
 	return sc.svc.decide(sc.ctx, sc.owner, id, groupID, decision)
 }
 
+func (sc Scope) DecideBatch(datasetID, id string, reqs []DecisionRequest) (BatchDecisionsResult, error) {
+	return sc.svc.decideBatch(sc.ctx, sc.owner, datasetID, id, reqs)
+}
+
+func (sc Scope) SessionPendingGroups(datasetID, id string, limit int, wait <-chan struct{}) (GroupPage, error) {
+	return sc.svc.pendingGroupsInDataset(sc.owner, datasetID, id, limit, wait)
+}
+
 func (sc Scope) ReviewState(id string) (goldrec.ReviewState, error) {
 	return sc.svc.reviewState(sc.owner, id)
 }
@@ -133,6 +141,12 @@ func (s *Service) PendingGroups(id string, limit int, wait <-chan struct{}) (Gro
 }
 func (s *Service) Decide(id string, groupID int, decision goldrec.Decision) (DecisionResult, error) {
 	return s.As("").Decide(id, groupID, decision)
+}
+func (s *Service) DecideBatch(datasetID, id string, reqs []DecisionRequest) (BatchDecisionsResult, error) {
+	return s.As("").DecideBatch(datasetID, id, reqs)
+}
+func (s *Service) SessionPendingGroups(datasetID, id string, limit int, wait <-chan struct{}) (GroupPage, error) {
+	return s.As("").SessionPendingGroups(datasetID, id, limit, wait)
 }
 func (s *Service) ReviewState(id string) (goldrec.ReviewState, error) {
 	return s.As("").ReviewState(id)

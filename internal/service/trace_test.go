@@ -168,7 +168,10 @@ func TestTraceIntegration(t *testing.T) {
 		t.Fatal("open-session response missing X-Trace-ID")
 	}
 
-	want := []string{"context_prep", "graph_build", "group_search", "wal_append", "wal_fsync"}
+	// wal_append is the caller-side durable wait; wal_group_flush is
+	// the committer's shared write+fsync, attached to the trace of the
+	// batch leader — which this serial test always is.
+	want := []string{"context_prep", "graph_build", "group_search", "wal_append", "wal_group_flush"}
 	deadline := time.Now().Add(30 * time.Second)
 	var names map[string]int
 	for time.Now().Before(deadline) {

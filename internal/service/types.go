@@ -84,6 +84,33 @@ type DecisionResult struct {
 	Stats    goldrec.SessionStats `json:"stats"`
 }
 
+// BatchDecisionsRequest is the body of
+// POST /v1/datasets/{id}/sessions/{sid}/decisions. The batch is
+// validated whole-file-style before anything is applied: a duplicate
+// group id, an unknown or already-decided group, or an invalid
+// decision string rejects the entire batch, so a reviewer never has to
+// untangle a half-applied submission.
+type BatchDecisionsRequest struct {
+	Decisions []DecisionRequest `json:"decisions"`
+}
+
+// BatchDecisionsResult reports an accepted batch: one result per
+// decision, in request order, plus the session's updated planning
+// numbers — the same pending/approve-rate/gain figures GroupPage and
+// the budget planner work from, so a reviewing client can re-plan
+// without another round trip.
+type BatchDecisionsResult struct {
+	Results []DecisionResult `json:"results"`
+	// Status/Pending/ApproveRate mirror GroupPage after the batch.
+	Status      string  `json:"status"`
+	Pending     int     `json:"pending"`
+	ApproveRate float64 `json:"approve_rate"`
+	// RemainingGain is the summed expected gain of the still-pending
+	// buffered groups under the updated approve rate.
+	RemainingGain float64              `json:"remaining_gain"`
+	Stats         goldrec.SessionStats `json:"stats"`
+}
+
 // OpenSessionRequest is the body of POST /v1/datasets/{id}/sessions.
 type OpenSessionRequest struct {
 	Column string `json:"column"`

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/goldrec/goldrec/table"
@@ -64,6 +66,63 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWALGroupCommit measures per-append latency with W concurrent
+// writers on one session — the group-commit payoff. With sync on, ns/op
+// should fall roughly linearly in W (one fsync is amortized over a whole
+// batch) until the flush window saturates; nosync legs bound what the
+// coalescing alone can deliver.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts FSOptions
+	}{
+		{"sync", FSOptions{}},
+		{"nosync", FSOptions{NoSync: true}},
+	} {
+		for _, writers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				s, err := OpenFS(filepath.Join(b.TempDir(), "store"), mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				if err := s.PutDataset(context.Background(), DatasetMeta{ID: "ds_0a", KeyCol: "k"}, benchDataset(4, 3)); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.PutSession(SessionMeta{ID: "cs_01", DatasetID: "ds_0a", Column: "Name"}); err != nil {
+					b.Fatal(err)
+				}
+				rec := WALRecord{Op: OpDecide, GroupID: 1, Decision: "approve"}
+				b.ResetTimer()
+				var (
+					wg        sync.WaitGroup
+					appendErr atomic.Pointer[error]
+				)
+				for w := 0; w < writers; w++ {
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if err := s.AppendWAL(context.Background(), "ds_0a", "cs_01", rec); err != nil {
+								appendErr.Store(&err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+				if errp := appendErr.Load(); errp != nil {
+					b.Fatal(*errp)
+				}
+			})
+		}
 	}
 }
 

@@ -120,9 +120,20 @@ type Store interface {
 
 	// AppendWAL durably appends one record to the session's log. The
 	// record must be on stable storage (or as close as the backend
-	// promises; see FSOptions.NoSync) when the call returns. The
-	// context carries tracing only, as on PutDataset.
+	// promises; see FSOptions.NoSync) when the call returns. Unlike
+	// PutDataset, the context also cancels: a caller that is gone gets
+	// ctx.Err() back promptly instead of waiting out a group-commit
+	// flush window. Cancellation abandons the wait, not the write — a
+	// record already handed to the committer may still become durable.
 	AppendWAL(ctx context.Context, datasetID, sessionID string, rec WALRecord) error
+	// BatchAppendWAL durably appends recs to the session's log in
+	// order, as one vectored write and (at most) one fsync. All-or-
+	// nothing acknowledgment: a nil return means every record is on
+	// stable storage; an error means the caller must assume none are
+	// (a crash mid-batch leaves a clean prefix of the batch, which
+	// ReplayWAL returns — the torn record, if any, is dropped).
+	// Context semantics match AppendWAL.
+	BatchAppendWAL(ctx context.Context, datasetID, sessionID string, recs []WALRecord) error
 	// ReplayWAL streams the session's log in append order. A torn final
 	// record (from a crash mid-append) is silently dropped; corruption
 	// anywhere else is an error. A missing WAL replays zero records.
@@ -187,7 +198,14 @@ func (Null) ListSessions(string) ([]SessionMeta, error) { return nil, nil }
 func (Null) FindSession(string) (SessionMeta, error)    { return SessionMeta{}, ErrNotExist }
 func (Null) DeleteSession(string, string) error         { return nil }
 
-func (Null) AppendWAL(context.Context, string, string, WALRecord) error             { return nil }
+// AppendWAL honors cancellation even though the write itself is free:
+// callers rely on every backend returning ctx.Err() promptly once the
+// request is gone, and the Null backend must not be the one that hides
+// a leaked-context bug until production runs on FS.
+func (Null) AppendWAL(ctx context.Context, _, _ string, _ WALRecord) error { return ctx.Err() }
+func (Null) BatchAppendWAL(ctx context.Context, _, _ string, _ []WALRecord) error {
+	return ctx.Err()
+}
 func (Null) ReplayWAL(context.Context, string, string, func(WALRecord) error) error { return nil }
 func (Null) CloseWAL(string, string) error                                          { return nil }
 

@@ -453,6 +453,20 @@ func (r *Registry) Authenticate(key string) (Info, bool) {
 // token accrues (the Retry-After the HTTP layer should advertise). An
 // unknown tenant or a zero rate is unlimited.
 func (r *Registry) AllowDecision(id string) (bool, time.Duration) {
+	return r.AllowDecisions(id, 1)
+}
+
+// AllowDecisions spends n tokens atomically: either the bucket holds
+// all n and the whole batch is admitted, or nothing is spent and the
+// wait until n tokens will have accrued is reported. All-or-nothing
+// matters for batched ingest — admitting half a batch would burn
+// tokens on work that is then rejected whole. A batch larger than the
+// bucket's burst can never be admitted; callers enforce their own
+// batch-size cap below the minimum burst they configure.
+func (r *Registry) AllowDecisions(id string, n int) (bool, time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
 	r.mu.RLock()
 	t, ok := r.tenants[id]
 	var q Quotas
@@ -477,11 +491,12 @@ func (r *Registry) AllowDecision(id string) (bool, time.Duration) {
 		}
 	}
 	t.last = now
-	if t.tokens >= 1 {
-		t.tokens--
+	need := float64(n)
+	if t.tokens >= need {
+		t.tokens -= need
 		return true, 0
 	}
-	wait := time.Duration((1 - t.tokens) / q.DecisionsPerSec * float64(time.Second))
+	wait := time.Duration((need - t.tokens) / q.DecisionsPerSec * float64(time.Second))
 	return false, wait
 }
 

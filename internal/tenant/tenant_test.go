@@ -199,6 +199,51 @@ func TestRateLimit(t *testing.T) {
 	}
 }
 
+func TestRateLimitBatch(t *testing.T) {
+	fc := newFakeClock(time.Unix(1700000000, 0))
+	r, err := Open(nil, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := mustCreate(t, r, "batcher", Quotas{DecisionsPerSec: 2, DecisionBurst: 4})
+
+	// All-or-nothing: a batch larger than the balance is refused
+	// without burning any token — the full bucket must still admit a
+	// burst-sized batch afterwards.
+	ok, retry := r.AllowDecisions(info.ID, 6)
+	if ok {
+		t.Fatal("batch of 6 admitted with burst 4")
+	}
+	// 2 tokens short at 2/s → at least a second until it could fit.
+	if retry < time.Second {
+		t.Fatalf("retry-after = %v, want >= 1s (2 tokens short at 2/s)", retry)
+	}
+	if ok, _ := r.AllowDecisions(info.ID, 4); !ok {
+		t.Fatal("burst-sized batch refused after a rejected oversized batch (tokens were burned)")
+	}
+	if ok, _ := r.AllowDecisions(info.ID, 1); ok {
+		t.Fatal("decision allowed from a drained bucket")
+	}
+
+	// Refill admits exactly the accrued amount, batch-wise.
+	fc.Advance(time.Second) // +2 tokens
+	if ok, _ := r.AllowDecisions(info.ID, 3); ok {
+		t.Fatal("batch of 3 admitted with only 2 tokens accrued")
+	}
+	if ok, _ := r.AllowDecisions(info.ID, 2); !ok {
+		t.Fatal("batch of 2 refused with 2 tokens accrued")
+	}
+
+	// n <= 0 and unlimited tenants are always admitted.
+	if ok, _ := r.AllowDecisions(info.ID, 0); !ok {
+		t.Error("zero-size batch refused")
+	}
+	free, _ := mustCreate(t, r, "free", Quotas{})
+	if ok, _ := r.AllowDecisions(free.ID, 1000); !ok {
+		t.Error("unlimited tenant's batch refused")
+	}
+}
+
 func TestDefaultBurst(t *testing.T) {
 	if b := (Quotas{DecisionsPerSec: 2.5}).burst(); b != 3 {
 		t.Errorf("burst(2.5/s) = %v, want ceil = 3", b)
