@@ -198,10 +198,19 @@ func (c *Consolidator) ColumnIndex(col int) (*Session, error) {
 // context_prep phase (candidate extraction and frequency maps) records
 // as a child span of whatever span the context holds.
 func (c *Consolidator) ColumnIndexCtx(ctx context.Context, col int) (*Session, error) {
+	return c.ColumnIndexWarmCtx(ctx, col, nil)
+}
+
+// ColumnIndexWarmCtx is ColumnIndexCtx with a warm start: programs
+// approved on earlier uploads (carried in warm, nil for a cold open)
+// pre-decide the candidate groups they fully explain before any human
+// review — see WarmStart. Warm pre-application records as a
+// library_preapply span under the context's span.
+func (c *Consolidator) ColumnIndexWarmCtx(ctx context.Context, col int, warm *WarmStart) (*Session, error) {
 	if col < 0 || col >= len(c.ds.Attrs) {
 		return nil, fmt.Errorf("goldrec: column %d out of range", col)
 	}
-	return newSession(ctx, c, col), nil
+	return newSession(ctx, c, col, warm), nil
 }
 
 // GoldenRecords runs majority-consensus truth discovery on every column

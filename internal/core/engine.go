@@ -6,9 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"github.com/goldrec/goldrec/internal/dsl"
 	"github.com/goldrec/goldrec/internal/obs/trace"
@@ -49,6 +51,23 @@ type Options struct {
 	// Parallel prepares structure groups and searches pivots on all
 	// CPUs in AllGroups. Results are deterministic either way.
 	Parallel bool
+	// Warm seeds the engine with prior programs from a transformation
+	// library. Deterministic priors are pre-applied before grouping:
+	// every alive replacement a prior maps exactly (Run(S) == T) is
+	// claimed into a pre-decided warm group and excluded from the
+	// search. Priors are tried in slice order, so callers must order
+	// them deterministically (the library sorts by canonical key);
+	// non-deterministic programs are skipped — affix functions have
+	// many outputs and cannot pre-decide anything.
+	Warm []WarmPrior
+}
+
+// WarmPrior is one library program offered to the engine for
+// warm-start pre-application, with its historical review outcomes.
+type WarmPrior struct {
+	Program    dsl.Program
+	Approvals  int
+	Rejections int
 }
 
 const defaultMaxConstLen = 16
@@ -61,6 +80,9 @@ type Group struct {
 	Path    []tgraph.LabelID
 	Program dsl.Program
 	Members []Rep
+	// Warm marks a group pre-decided from a library prior during
+	// warm start rather than discovered by the pivot search.
+	Warm bool
 }
 
 // Size returns the number of member replacements.
@@ -80,7 +102,11 @@ type Engine struct {
 	}
 	globalFreq map[string]int
 	units      *unitHeap
-	skipped    int
+	warm       []*Group
+	// skipped is atomic: the serial prepare path (NextGroup's lazy
+	// builds) and AllGroups' parallel workers both add to it, and
+	// Skipped may be read concurrently with either.
+	skipped atomic.Int64
 
 	// Phase timings in nanoseconds, accumulated atomically so the
 	// parallel AllGroups path can contribute from worker goroutines.
@@ -140,7 +166,7 @@ func NewEngine(reps []Rep, opts Options) *Engine {
 // frequency maps) and records as one span on the request that opened
 // the session.
 func NewEngineCtx(ctx context.Context, reps []Rep, opts Options) *Engine {
-	_, sp := trace.StartSpan(ctx, "context_prep")
+	pctx, sp := trace.StartSpan(ctx, "context_prep")
 	defer sp.End()
 	start := time.Now()
 	if opts.MaxConstLen <= 0 {
@@ -160,10 +186,21 @@ func NewEngineCtx(ctx context.Context, reps []Rep, opts Options) *Engine {
 			}{c, i}
 		}
 	}
+	if len(opts.Warm) > 0 {
+		e.preapplyWarm(pctx)
+	}
 	if opts.ConstantScoring {
 		e.globalFreq = make(map[string]int)
-		for _, r := range reps {
-			countSubstrings(e.globalFreq, r.T, opts.MaxConstLen)
+		// Count over what grouping will actually see: warm-claimed
+		// replacements are already decided and must not skew the
+		// constant scores.
+		for _, c := range e.ctxs {
+			for i, r := range c.Reps {
+				if c.preDead[i] {
+					continue
+				}
+				countSubstrings(e.globalFreq, r.T, opts.MaxConstLen)
+			}
 		}
 	}
 	e.units = &unitHeap{}
@@ -174,12 +211,64 @@ func NewEngineCtx(ctx context.Context, reps []Rep, opts Options) *Engine {
 	return e
 }
 
+// preapplyWarm claims replacements exactly reproduced by deterministic
+// library priors into pre-decided warm groups, before any graph is
+// built. One warm group forms per (prior, structure group) pair so a
+// group keeps the single signature the review UI renders. Priors are
+// tried in order; a replacement claimed by an earlier prior is gone for
+// later ones, so the whole pass is deterministic for a fixed prior
+// order and replacement set.
+func (e *Engine) preapplyWarm(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "library_preapply")
+	defer sp.End()
+	matched := 0
+	for _, w := range e.opts.Warm {
+		if len(w.Program) == 0 || !w.Program.Deterministic() {
+			continue
+		}
+		for _, c := range e.ctxs {
+			var members []Rep
+			for i, r := range c.Reps {
+				if c.preDead[i] {
+					continue
+				}
+				if out, ok := w.Program.Run(r.S); ok && out == r.T {
+					members = append(members, r)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			for _, r := range members {
+				if l, ok := e.loc[r.Ext]; ok {
+					l.ctx.remove(l.idx)
+				}
+			}
+			matched += len(members)
+			e.warm = append(e.warm, &Group{
+				Sig:     c.Sig,
+				Program: w.Program,
+				Members: members,
+				Warm:    true,
+			})
+		}
+	}
+	sp.Annotate("priors", strconv.Itoa(len(e.opts.Warm)))
+	sp.Annotate("groups", strconv.Itoa(len(e.warm)))
+	sp.Annotate("members", strconv.Itoa(matched))
+}
+
+// WarmGroups returns the pre-decided groups formed from library priors
+// at construction, in formation order. The slice is owned by the
+// engine; callers must not mutate it.
+func (e *Engine) WarmGroups() []*Group { return e.warm }
+
 // NumContexts returns the number of structure groups.
 func (e *Engine) NumContexts() int { return len(e.ctxs) }
 
 // Skipped returns how many replacements could not be graphed (empty or
 // overlong strings) and were excluded from grouping.
-func (e *Engine) Skipped() int { return e.skipped }
+func (e *Engine) Skipped() int { return int(e.skipped.Load()) }
 
 // graphOptions returns the tgraph options for one context, wiring in the
 // per-structure-group constant scorer when enabled.
@@ -220,7 +309,7 @@ func (e *Engine) prepare(ctx context.Context, c *Context) {
 	c.Prepare(e.graphOptions(c))
 	sp.End()
 	e.buildNanos.Add(time.Since(start).Nanoseconds())
-	e.skipped += before - c.AliveCount()
+	e.skipped.Add(int64(before - c.AliveCount()))
 }
 
 // searchOpts returns the per-mode pivot search options.
@@ -259,8 +348,6 @@ func (e *Engine) AllGroupsCtx(ctx context.Context, mode Mode) []*Group {
 	results := make([]ctxGroups, len(e.ctxs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	var mu sync.Mutex
-	skippedDelta := 0
 	for ci, c := range e.ctxs {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -273,9 +360,7 @@ func (e *Engine) AllGroupsCtx(ctx context.Context, mode Mode) []*Group {
 				c.Prepare(e.graphOptions(c))
 				bsp.End()
 				e.buildNanos.Add(time.Since(start).Nanoseconds())
-				mu.Lock()
-				skippedDelta += before - c.AliveCount()
-				mu.Unlock()
+				e.skipped.Add(int64(before - c.AliveCount()))
 			}
 			start := time.Now()
 			groups := e.groupContext(c, mode)
@@ -284,7 +369,6 @@ func (e *Engine) AllGroupsCtx(ctx context.Context, mode Mode) []*Group {
 		}(ci, c)
 	}
 	wg.Wait()
-	e.skipped += skippedDelta
 	var all []*Group
 	for _, r := range results {
 		all = append(all, r.groups...)
@@ -594,11 +678,48 @@ func (e *Engine) NextGroupCtx(ctx context.Context) *Group {
 	return grp
 }
 
+// runeScratch pools the decode buffers of non-ASCII substring
+// counting, so repeated countSubstrings calls (one per replacement
+// target, across every structure group) stop allocating a fresh
+// []rune each time.
+var runeScratch = sync.Pool{
+	New: func() any {
+		b := make([]rune, 0, 64)
+		return &b
+	},
+}
+
 func countSubstrings(m map[string]int, s string, maxLen int) {
-	r := []rune(s)
+	// ASCII fast path: byte positions are rune positions and string
+	// slices share s's bytes, so counting allocates nothing beyond the
+	// map's own growth.
+	if isASCII(s) {
+		for i := 0; i < len(s); i++ {
+			for j := i + 1; j <= len(s) && j-i <= maxLen; j++ {
+				m[s[i:j]]++
+			}
+		}
+		return
+	}
+	rp := runeScratch.Get().(*[]rune)
+	r := (*rp)[:0]
+	for _, c := range s {
+		r = append(r, c)
+	}
 	for i := 0; i < len(r); i++ {
 		for j := i + 1; j <= len(r) && j-i <= maxLen; j++ {
 			m[string(r[i:j])]++
 		}
 	}
+	*rp = r
+	runeScratch.Put(rp)
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
 }

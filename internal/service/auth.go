@@ -134,6 +134,13 @@ func (s *Service) registerTenantAPI(mux *http.ServeMux) {
 	}))
 	mux.HandleFunc("DELETE /v1/tenants/{id}", s.adminOnly(func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		// Purge the tenant's transformation library first: if the purge
+		// fails the tenant stays deletable, so a retry converges instead
+		// of leaving orphaned library state behind a 404.
+		if err := s.library.Delete(id); err != nil {
+			writeError(w, fmt.Errorf("%w: purging tenant %s library: %v", ErrStorage, id, err))
+			return
+		}
 		err := mapTenantErr(s.opts.Tenants.Delete(id))
 		if err == nil {
 			// Retire the tenant's counter series so deleted tenants do not

@@ -779,3 +779,98 @@ func BenchmarkRecover(b *testing.B) {
 		})
 	}
 }
+
+// benchExhaust waits until the session's generator has exhausted the
+// group stream.
+func benchExhaust(svc *Service, sessionID string) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := svc.ReviewState(sessionID)
+		if err != nil {
+			return err
+		}
+		if st.Exhausted {
+			return nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return fmt.Errorf("session %s never exhausted", sessionID)
+}
+
+// BenchmarkWarmStartUpload prices what the transformation library saves
+// on a repeat upload: one iteration uploads the paper dataset, opens
+// the Name session and waits for the group stream to exhaust. The cold
+// leg runs with an empty library, so the engine graphs and groups every
+// candidate and all groups await human review; the warm leg first
+// teaches the library by fully approving one review, so the session
+// pre-applies the remembered programs at open and the reviewer-facing
+// stream is (near) empty. The CI gate holds warm to <= 0.5x cold —
+// warm-start must keep paying for itself end to end, not just in
+// pre-decided counts.
+func BenchmarkWarmStartUpload(b *testing.B) {
+	run := func(b *testing.B, teach bool) {
+		defer raiseProcs(benchProcs)()
+		svc := New(Options{Prefetch: 1 << 20})
+		defer svc.Close()
+		if teach {
+			ds, err := svc.CreateDataset("teach", "key", "", strings.NewReader(paperCSV))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := svc.OpenSession(ds.ID, "Name")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				page, err := svc.PendingGroups(sess.ID, 1, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page.Groups) == 0 {
+					if page.Status == StatusExhausted {
+						break
+					}
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				if _, err := svc.Decide(sess.ID, page.Groups[0].ID, goldrec.Approved); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := svc.DeleteDataset(ds.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err := svc.CreateDataset(fmt.Sprintf("up-%d", i), "key", "", strings.NewReader(paperCSV))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := svc.OpenSession(ds.ID, "Name")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := benchExhaust(svc, sess.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st, err := svc.ReviewState(sess.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if teach && st.Stats.WarmGroups == 0 {
+				b.Fatal("taught library pre-decided nothing")
+			}
+			if !teach && st.Stats.WarmGroups != 0 {
+				b.Fatal("cold leg unexpectedly opened warm")
+			}
+			if err := svc.DeleteDataset(ds.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}

@@ -45,6 +45,8 @@ const maxLongPoll = 60 * time.Second
 //	POST   /v1/datasets/{id}/sessions/{sid}/decisions (body: BatchDecisionsRequest)
 //	GET    /v1/plan?budget=N
 //	GET    /v1/datasets/{id}/plan?budget=N
+//	GET    /v1/library
+//	DELETE /v1/library
 //
 // Errors share one envelope: {"error", "code", "request_id",
 // "trace_id"} — code is a stable machine-readable slug (see errorCode),
@@ -110,6 +112,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{id}/sessions/{sid}/decisions", s.handleBatchDecisions)
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/datasets/{id}/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/library", s.handleLibrary)
+	mux.HandleFunc("DELETE /v1/library", s.handleLibrary)
 	if s.opts.Tenants != nil {
 		s.registerTenantAPI(mux)
 	}

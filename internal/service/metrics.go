@@ -39,6 +39,13 @@ type serviceMetrics struct {
 
 	// Registry occupancy, refreshed on scrape.
 	registryEntries *obs.Vec // gauge: kind
+
+	// Transformation-library accounting: remembered programs (gauge,
+	// refreshed on scrape), sessions that opened warm (a library "hit"),
+	// and groups pre-decided from warm priors.
+	libraryPrograms *obs.Gauge
+	libraryHits     *obs.Vec // counter: tenant
+	libraryWarm     *obs.Vec // counter: tenant
 }
 
 // phaseBuckets resolve engine work from sub-millisecond group searches
@@ -66,6 +73,12 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Latency from session open to the first group becoming available.", phaseBuckets).Histogram(),
 		registryEntries: reg.NewGauge("goldrec_registry_entries",
 			"Live registry entries by kind, refreshed on scrape.", "kind"),
+		libraryPrograms: reg.NewGauge("goldrec_library_programs",
+			"Programs remembered across every tenant's transformation library, refreshed on scrape.").Gauge(),
+		libraryHits: reg.NewCounter("goldrec_library_hits_total",
+			"Sessions opened warm: the tenant's library had eligible priors to offer.", "tenant"),
+		libraryWarm: reg.NewCounter("goldrec_library_warm_decisions_total",
+			"Groups pre-decided from the tenant's library at session open.", "tenant"),
 	}
 }
 
@@ -92,11 +105,19 @@ func (m *serviceMetrics) addUploadBytes(owner string, n int64) {
 		m.uploadBytes.Counter(tenantLabel(owner)).Add(n)
 	}
 }
+func (m *serviceMetrics) bumpLibraryHit(owner string) {
+	m.libraryHits.Counter(tenantLabel(owner)).Inc()
+}
+func (m *serviceMetrics) bumpWarmDecisions(owner string, n int) {
+	if n > 0 {
+		m.libraryWarm.Counter(tenantLabel(owner)).Add(int64(n))
+	}
+}
 
 // dropTenant retires a deleted tenant's counter series so tenant churn
 // cannot grow the label space without bound.
 func (m *serviceMetrics) dropTenant(id string) {
-	for _, vec := range []*obs.Vec{m.requests, m.decisions, m.uploadBytes, m.rateLimited} {
+	for _, vec := range []*obs.Vec{m.requests, m.decisions, m.uploadBytes, m.rateLimited, m.libraryHits, m.libraryWarm} {
 		vec.Delete(id)
 	}
 }
@@ -127,6 +148,11 @@ type TenantMetrics struct {
 	UploadBytes int64 `json:"upload_bytes"`
 	// RateLimited counts decisions refused with 429.
 	RateLimited int64 `json:"rate_limited"`
+	// LibraryHits counts sessions opened warm from the tenant's library.
+	LibraryHits int64 `json:"library_hits"`
+	// WarmDecisions counts groups pre-decided from the tenant's library
+	// at session open.
+	WarmDecisions int64 `json:"warm_decisions"`
 }
 
 // MetricsInfo is the GET /v1/metrics document: per-tenant counters plus
@@ -142,6 +168,9 @@ type MetricsInfo struct {
 	// shard order.
 	DatasetShards []int `json:"dataset_shards"`
 	SessionShards []int `json:"session_shards"`
+	// LibraryPrograms counts remembered transformation programs: the
+	// caller's own library when tenant-scoped, every library otherwise.
+	LibraryPrograms int `json:"library_programs"`
 	// Histograms summarizes every histogram family, keyed by
 	// "name{label=value,...}" ("name" when unlabeled). Full bucket data
 	// is on /metrics/prometheus.
@@ -164,11 +193,18 @@ func (s *Service) metricsSnapshot(owner string) MetricsInfo {
 	for _, n := range out.SessionShards {
 		out.Sessions += n
 	}
+	if owner != "" {
+		out.LibraryPrograms = s.library.For(owner).Len()
+	} else {
+		out.LibraryPrograms = s.library.TotalPrograms()
+	}
 	tenantFields := map[string]func(*TenantMetrics) *int64{
-		"goldrec_tenant_requests_total":     func(t *TenantMetrics) *int64 { return &t.Requests },
-		"goldrec_tenant_decisions_total":    func(t *TenantMetrics) *int64 { return &t.Decisions },
-		"goldrec_tenant_upload_bytes_total": func(t *TenantMetrics) *int64 { return &t.UploadBytes },
-		"goldrec_tenant_rate_limited_total": func(t *TenantMetrics) *int64 { return &t.RateLimited },
+		"goldrec_tenant_requests_total":        func(t *TenantMetrics) *int64 { return &t.Requests },
+		"goldrec_tenant_decisions_total":       func(t *TenantMetrics) *int64 { return &t.Decisions },
+		"goldrec_tenant_upload_bytes_total":    func(t *TenantMetrics) *int64 { return &t.UploadBytes },
+		"goldrec_tenant_rate_limited_total":    func(t *TenantMetrics) *int64 { return &t.RateLimited },
+		"goldrec_library_hits_total":           func(t *TenantMetrics) *int64 { return &t.LibraryHits },
+		"goldrec_library_warm_decisions_total": func(t *TenantMetrics) *int64 { return &t.WarmDecisions },
 	}
 	for _, sample := range s.metrics.reg.Snapshot() {
 		if field, ok := tenantFields[sample.Name]; ok && len(sample.Values) == 1 {
@@ -251,6 +287,7 @@ func (s *Service) refreshGauges() {
 	}
 	s.metrics.registryEntries.Gauge("datasets").Set(float64(d))
 	s.metrics.registryEntries.Gauge("sessions").Set(float64(c))
+	s.metrics.libraryPrograms.Set(float64(s.library.TotalPrograms()))
 }
 
 // Metrics returns the service's observability registry (the one passed

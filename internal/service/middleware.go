@@ -58,6 +58,7 @@ var knownRoutes = map[string]bool{
 	"/v1/sessions/{id}/state":                   true,
 	"/v1/sessions/{id}/decisions":               true,
 	"/v1/plan":                                  true,
+	"/v1/library":                               true,
 	"/v1/tenants":                               true,
 	"/v1/tenants/{id}":                          true,
 	"/v1/tenants/{id}/keys":                     true,

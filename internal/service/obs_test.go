@@ -151,6 +151,7 @@ func TestPrometheusEndpoint(t *testing.T) {
 		"goldrec_session_first_group_seconds_count 1",
 		"goldrec_tenant_decisions_total",
 		`goldrec_registry_entries{kind="datasets"} 1`,
+		"goldrec_library_programs 1",
 	} {
 		if !strings.Contains(raw, want) {
 			t.Errorf("exposition missing %q", want)
@@ -173,6 +174,9 @@ func TestPrometheusEndpoint(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no engine-phase summary in %v", m.Histograms)
+	}
+	if m.LibraryPrograms != 1 {
+		t.Errorf("json metrics library_programs = %d, want 1 (one approved program)", m.LibraryPrograms)
 	}
 }
 

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/library"
 	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/store"
@@ -167,6 +168,11 @@ type Service struct {
 	logger   *slog.Logger
 	tracer   *trace.Tracer
 
+	// library is the per-tenant durable transformation memory: every
+	// acknowledged verdict is recorded into the owning tenant's library,
+	// and session opens consult it for warm-start priors.
+	library *library.Registry
+
 	// ready flips once the owner finishes startup recovery (MarkReady);
 	// /readyz serves 503 until then, while /healthz stays live.
 	ready atomic.Bool
@@ -224,6 +230,14 @@ func New(opts Options) *Service {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// Library load failures must not hold the whole service down (same
+	// stance as dataset recovery): log and start with an empty memory —
+	// the snapshots and change logs stay on disk for a later boot.
+	lib, err := library.Open(opts.Store)
+	if err != nil {
+		opts.Logf("library: load failed, starting empty: %v", err)
+		lib, _ = library.Open(nil)
+	}
 	s := &Service{
 		opts:      opts,
 		store:     opts.Store,
@@ -233,6 +247,7 @@ func New(opts Options) *Service {
 		metrics:   newServiceMetrics(reg),
 		logger:    opts.Logger,
 		tracer:    opts.Tracer,
+		library:   lib,
 		restoreMu: make([]sync.Mutex, opts.Shards),
 		admitMu:   make(map[string]*sync.Mutex),
 	}
@@ -288,6 +303,9 @@ func (s *Service) Close() {
 	for _, d := range s.datasets.list() {
 		s.datasets.remove(d.id)
 	}
+	// Shutdown hygiene: fold every tenant's library change log into a
+	// fresh snapshot (recovery never requires it, but boots load faster).
+	s.library.Snapshot()
 }
 
 // janitor sweeps one shard of both registries on its own ticker.
@@ -783,7 +801,37 @@ func (s *Service) openSession(ctx context.Context, owner, datasetID, column stri
 func (cs *columnSession) run(ctx context.Context, s *Service) {
 	logf := s.opts.Logf
 	openedAt := time.Now()
-	sess, err := cs.d.cons.ColumnIndexCtx(ctx, cs.col)
+	// Resolve the warm-start context before building the session: fresh
+	// sessions freeze the library's current priors into the WAL's first
+	// record, resuming ones read that frozen record back — either way
+	// the engine below is built from exactly what the WAL describes.
+	warm, err := cs.openWarm(ctx, s)
+	if err != nil {
+		logf("session %s: reading warm-start record failed, closing session: %v", cs.id, err)
+		s.closeSession(cs)
+		return
+	}
+	// Keep a pristine copy of a resuming session's column: a failed
+	// replay must roll the live dataset back, or the half-replayed
+	// column would diverge from what the store will rebuild after a
+	// restart. Captured before the session build, because warm
+	// pre-application already mutates the column there.
+	var pristine [][]string
+	if cs.resume {
+		cs.d.applyMu.RLock()
+		pristine = columnValues(cs.d.cons.Dataset(), cs.col)
+		cs.d.applyMu.RUnlock()
+	}
+	if warm != nil {
+		// Warm pre-application writes the column at build time, so the
+		// build joins the apply side of the dataset lock (exports must
+		// not read a half-pre-applied column).
+		cs.d.applyMu.RLock()
+	}
+	sess, err := cs.d.cons.ColumnIndexWarmCtx(ctx, cs.col, warm)
+	if warm != nil {
+		cs.d.applyMu.RUnlock()
+	}
 	if err != nil {
 		// Unreachable in practice: the column index was validated at
 		// open time. Mark the stream done so waiters return.
@@ -793,14 +841,14 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 		cs.mu.Unlock()
 		return
 	}
+	if n := sess.Stats().WarmGroups; n > 0 {
+		if !cs.resume {
+			s.metrics.bumpWarmDecisions(cs.owner, n)
+		}
+		logf("session %s: %d group(s) pre-decided from the library", cs.id, n)
+	}
 	var restored []*goldrec.Group
 	if cs.resume {
-		// Keep a pristine copy of the column: a failed replay must roll
-		// the live dataset back, or the half-replayed column would
-		// diverge from what the store will rebuild after a restart.
-		cs.d.applyMu.RLock()
-		pristine := columnValues(cs.d.cons.Dataset(), cs.col)
-		cs.d.applyMu.RUnlock()
 		restored, err = cs.replay(ctx, s, sess)
 		if err != nil {
 			logf("session %s: WAL replay failed, closing session: %v", cs.id, err)
@@ -886,6 +934,11 @@ func (cs *columnSession) replay(ctx context.Context, s *Service, sess *goldrec.S
 	var pending []*goldrec.Group
 	err := s.store.ReplayWAL(ctx, cs.datasetID, cs.id, func(rec store.WALRecord) error {
 		switch rec.Op {
+		case store.OpWarm:
+			// Already consumed: the engine was built from this record
+			// (loadWarmRecord) before replay began, and its groups came
+			// pre-decided out of the session build.
+			return nil
 		case store.OpIssue:
 			g, ok := sess.NextGroupCtx(ctx)
 			if !ok {
@@ -1344,6 +1397,10 @@ func (s *Service) decide(ctx context.Context, owner, id string, groupID int, dec
 	// (the tenant whose review budget is being spent), so an admin
 	// reviewing on a tenant's behalf still shows up on that tenant.
 	s.metrics.bumpDecisions(cs.owner)
+	// The verdict also teaches the owner's transformation library, so
+	// the tenant's next upload can pre-decide groups this program
+	// explains. Attributed to the owner for the same reason as above.
+	s.recordVerdict(cs, groupID, decision)
 	s.maybeCompactLocked(cs)
 	return res, nil
 }
@@ -1474,6 +1531,11 @@ func (s *Service) decideBatch(ctx context.Context, owner, datasetID, id string, 
 		res.RemainingGain += float64(g.RemainingSites()) * res.ApproveRate
 	}
 	s.metrics.bumpDecisionsN(cs.owner, len(reqs))
+	// Teach the owner's transformation library every verdict in the
+	// batch, exactly as the single-decision path does.
+	for i, req := range reqs {
+		s.recordVerdict(cs, req.GroupID, decisions[i])
+	}
 	s.maybeCompactLocked(cs)
 	return res, nil
 }

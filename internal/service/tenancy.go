@@ -121,6 +121,16 @@ func (sc Scope) PlanDataset(datasetID string, budget int) (BudgetPlan, error) {
 	return sc.svc.planDataset(sc.owner, datasetID, budget)
 }
 
+// Library returns the scope's transformation memory: the per-program
+// approve/reject stats accumulated across the owner's uploads. A
+// tenant only ever sees (and deletes) its own library; the unscoped
+// view addresses the open-mode library.
+func (sc Scope) Library() LibraryInfo { return sc.svc.libraryInfo(sc.owner) }
+
+// DeleteLibrary purges the scope's transformation memory: future
+// uploads open cold until new decisions accumulate.
+func (sc Scope) DeleteLibrary() error { return sc.svc.deleteLibrary(sc.owner) }
+
 // The *Service methods below are the unscoped view under the
 // pre-tenancy names, so library users and tests keep working untouched.
 
@@ -158,6 +168,8 @@ func (s *Service) Plan(budget int) (BudgetPlan, error) { return s.As("").Plan(bu
 func (s *Service) PlanDataset(datasetID string, budget int) (BudgetPlan, error) {
 	return s.As("").PlanDataset(datasetID, budget)
 }
+func (s *Service) Library() LibraryInfo { return s.As("").Library() }
+func (s *Service) DeleteLibrary() error { return s.As("").DeleteLibrary() }
 
 // admissionLock returns the tenant's admission mutex, creating it on
 // first use. Admissions are rare (dataset uploads, session opens), so

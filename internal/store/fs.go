@@ -69,6 +69,12 @@ var walBuckets = []float64{0.000025, 0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1
 //	    snapshot.json             tenant-registry snapshot (atomic rename)
 //	    changes.jsonl             append-only tenant change log, cleared
 //	                              when a snapshot subsumes it
+//	<root>/libraries/<tenant>/
+//	    snapshot.json             transformation-library snapshot
+//	    changes.jsonl             append-only library change log, cleared
+//	                              when a snapshot subsumes it
+//	                              (<tenant> is the tenant id; the
+//	                              open-mode library lives under "_open")
 //
 // Every non-append write lands in a temp file first and is renamed into
 // place, so readers never observe a partial meta or snapshot. WAL
@@ -84,6 +90,10 @@ type FS struct {
 	// tenantMu serializes tenant snapshot/change-log writes; tenant
 	// mutations are admin-rate, so one lock is plenty.
 	tenantMu sync.Mutex
+	// libMu serializes library snapshot/change-log writes per tenant:
+	// library appends land on every reviewer decision, so tenants must
+	// not contend with each other the way they would under one lock.
+	libMu map[string]*sync.Mutex
 	// dsMu serializes snapshot read-modify-write cycles per dataset:
 	// without it, two sessions compacting concurrently would both write
 	// the same next snapshot version and one session's fold would be

@@ -1,0 +1,201 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// openLibraryDir is the directory name of the open-mode (tenantless)
+// library. It cannot collide with a real tenant id: idPattern rejects a
+// leading underscore.
+const openLibraryDir = "_open"
+
+// libraryTenantDir maps a tenant id to its library directory name,
+// validating real ids against the registry pattern so they stay safe as
+// path components.
+func libraryTenantDir(tenantID string) (string, error) {
+	if tenantID == "" {
+		return openLibraryDir, nil
+	}
+	if err := checkID(tenantID); err != nil {
+		return "", err
+	}
+	return tenantID, nil
+}
+
+// libraryDir returns the tenant's library directory, creating it when
+// create is set.
+func (s *FS) libraryDir(tenantID string, create bool) (string, error) {
+	sub, err := libraryTenantDir(tenantID)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(s.root, "libraries", sub)
+	if create {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", fmt.Errorf("store: library dir: %w", err)
+		}
+	}
+	return dir, nil
+}
+
+// libraryLock returns the tenant's library writer mutex.
+func (s *FS) libraryLock(tenantID string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.libMu == nil {
+		s.libMu = make(map[string]*sync.Mutex)
+	}
+	if m, ok := s.libMu[tenantID]; ok {
+		return m
+	}
+	m := &sync.Mutex{}
+	s.libMu[tenantID] = m
+	return m
+}
+
+// SaveLibrarySnapshot atomically replaces the tenant's library snapshot
+// and clears the change log it subsumes. As with the tenant registry,
+// the clear is best-effort: library change records converge under
+// replay, so a log surviving a crash between the two steps is
+// redundant, not wrong.
+func (s *FS) SaveLibrarySnapshot(tenantID string, data []byte) error {
+	lock := s.libraryLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	dir, err := s.libraryDir(tenantID, true)
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(filepath.Join(dir, "snapshot.json"), data); err != nil {
+		return fmt.Errorf("store: library snapshot: %w", err)
+	}
+	os.Remove(filepath.Join(dir, "changes.jsonl"))
+	return nil
+}
+
+// LoadLibrarySnapshot returns the tenant's latest library snapshot.
+func (s *FS) LoadLibrarySnapshot(tenantID string) ([]byte, error) {
+	dir, err := s.libraryDir(tenantID, false)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: library snapshot: %w", ErrNotExist)
+	}
+	return raw, err
+}
+
+// AppendLibraryChange durably appends one record to the tenant's
+// library change log. Like the tenant log, the handle is opened per
+// append: library appends are decision-rate, not WAL-rate, and the
+// session WAL's group committer already absorbs the fsync storm of
+// batched ingest.
+func (s *FS) AppendLibraryChange(tenantID string, data []byte) error {
+	lock := s.libraryLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	dir, err := s.libraryDir(tenantID, true)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "changes.jsonl")
+	if err := repairWALTail(path); err != nil {
+		return fmt.Errorf("store: library changes: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: library changes: %w", err)
+	}
+	defer f.Close()
+	line := append(append([]byte(nil), data...), '\n')
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("store: library change append: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: library change sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayLibraryChanges streams the tenant's library change log in
+// append order, dropping a torn final record exactly like ReplayWAL.
+func (s *FS) ReplayLibraryChanges(tenantID string, fn func(data []byte) error) error {
+	dir, err := s.libraryDir(tenantID, false)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "changes.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: library changes: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			if i == len(lines)-1 {
+				// Torn final record from a crash mid-append: the change
+				// it held was never acknowledged, so dropping it is safe.
+				return nil
+			}
+			return fmt.Errorf("store: library change record %d: corrupt", i+1)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListLibraryTenants returns every tenant id with persisted library
+// state, sorted (the open-mode library lists as "").
+func (s *FS) ListLibraryTenants() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "libraries"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		switch name := e.Name(); {
+		case name == openLibraryDir:
+			out = append(out, "")
+		case checkID(name) == nil:
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteLibrary removes the tenant's entire library.
+func (s *FS) DeleteLibrary(tenantID string) error {
+	lock := s.libraryLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	dir, err := s.libraryDir(tenantID, false)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}

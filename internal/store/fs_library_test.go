@@ -1,0 +1,158 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func replayLibrary(t *testing.T, s Store, tenantID string) []string {
+	t.Helper()
+	var out []string
+	if err := s.ReplayLibraryChanges(tenantID, func(data []byte) error {
+		out = append(out, string(data))
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayLibraryChanges(%q): %v", tenantID, err)
+	}
+	return out
+}
+
+func TestFSLibrarySnapshotRoundTrip(t *testing.T) {
+	s, err := OpenFS(t.TempDir(), FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.LoadLibrarySnapshot("tn_01"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("LoadLibrarySnapshot before save: %v, want ErrNotExist", err)
+	}
+	if err := s.SaveLibrarySnapshot("tn_01", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.LoadLibrarySnapshot("tn_01")
+	if err != nil || string(raw) != `{"v":1}` {
+		t.Fatalf("LoadLibrarySnapshot = %q, %v", raw, err)
+	}
+
+	// The open-mode library ("") persists under its own sentinel dir.
+	if err := s.SaveLibrarySnapshot("", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = s.LoadLibrarySnapshot("")
+	if err != nil || string(raw) != `{"v":2}` {
+		t.Fatalf("open-mode LoadLibrarySnapshot = %q, %v", raw, err)
+	}
+	// And does not bleed into the real tenant's library.
+	raw, _ = s.LoadLibrarySnapshot("tn_01")
+	if string(raw) != `{"v":1}` {
+		t.Fatalf("tenant snapshot after open-mode save = %q", raw)
+	}
+}
+
+func TestFSLibraryChangesAppendReplay(t *testing.T) {
+	s, err := OpenFS(t.TempDir(), FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got := replayLibrary(t, s, "tn_01"); len(got) != 0 {
+		t.Fatalf("replay of missing log = %v, want empty", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AppendLibraryChange("tn_01", []byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{`{"n":0}`, `{"n":1}`, `{"n":2}`}
+	if got := replayLibrary(t, s, "tn_01"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+
+	// Saving a snapshot subsumes (clears) the change log.
+	if err := s.SaveLibrarySnapshot("tn_01", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayLibrary(t, s, "tn_01"); len(got) != 0 {
+		t.Fatalf("replay after snapshot = %v, want empty", got)
+	}
+}
+
+// TestFSLibraryTornTail simulates a crash mid-append: a torn final record
+// is dropped on replay and repaired by the next append.
+func TestFSLibraryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.AppendLibraryChange("tn_01", []byte(`{"n":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "libraries", "tn_01", "changes.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"n":1,"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if got := replayLibrary(t, s, "tn_01"); !reflect.DeepEqual(got, []string{`{"n":0}`}) {
+		t.Fatalf("replay over torn tail = %v, want clean prefix", got)
+	}
+	if err := s.AppendLibraryChange("tn_01", []byte(`{"n":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"n":0}`, `{"n":2}`}
+	if got := replayLibrary(t, s, "tn_01"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after repair = %v, want %v", got, want)
+	}
+}
+
+func TestFSLibraryListAndDelete(t *testing.T) {
+	s, err := OpenFS(t.TempDir(), FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got, err := s.ListLibraryTenants(); err != nil || len(got) != 0 {
+		t.Fatalf("ListLibraryTenants empty = %v, %v", got, err)
+	}
+	for _, id := range []string{"tn_02", "", "tn_01"} {
+		if err := s.AppendLibraryChange(id, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"", "tn_01", "tn_02"}
+	if got, err := s.ListLibraryTenants(); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("ListLibraryTenants = %v, %v, want %v", got, err, want)
+	}
+
+	if err := s.DeleteLibrary("tn_01"); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"", "tn_02"}
+	if got, _ := s.ListLibraryTenants(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ListLibraryTenants after delete = %v, want %v", got, want)
+	}
+	if got := replayLibrary(t, s, "tn_01"); len(got) != 0 {
+		t.Fatalf("replay after delete = %v, want empty", got)
+	}
+	// Deleting a missing library is not an error.
+	if err := s.DeleteLibrary("tn_99"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteLibrary("bad id!"); err == nil {
+		t.Fatal("DeleteLibrary with invalid id: want error")
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -132,7 +133,8 @@ func TestFSSessionsAndWAL(t *testing.T) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if got[i].Op != recs[i].Op || got[i].GroupID != recs[i].GroupID ||
+			got[i].Decision != recs[i].Decision || !bytes.Equal(got[i].Warm, recs[i].Warm) {
 			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
 		}
 	}
@@ -217,7 +219,7 @@ func TestFSReplayTornTail(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("replay after repaired append: %v", err)
 	}
-	if len(got) != 2 || got[1] != (WALRecord{Op: OpDecide, GroupID: 0, Decision: "approve"}) {
+	if len(got) != 2 || got[1].Op != OpDecide || got[1].GroupID != 0 || got[1].Decision != "approve" {
 		t.Fatalf("replay after repaired append = %v", got)
 	}
 

@@ -144,7 +144,7 @@ func TestBatchAppendWAL(t *testing.T) {
 		t.Fatalf("replayed %d records, want %d", len(recs), len(batch))
 	}
 	for i, r := range recs {
-		if r != batch[i] {
+		if r.Op != batch[i].Op || r.GroupID != batch[i].GroupID || r.Decision != batch[i].Decision {
 			t.Fatalf("record %d = %+v, want %+v", i, r, batch[i])
 		}
 	}
@@ -363,7 +363,7 @@ func TestBatchCrashTruncationSweep(t *testing.T) {
 			t.Fatalf("cut at %d/%d: replayed %d records, want %d", cut, len(raw), len(recs), wantRecords)
 		}
 		for i, r := range recs {
-			if r != batch[i] {
+			if r.Op != batch[i].Op || r.GroupID != batch[i].GroupID || r.Decision != batch[i].Decision {
 				s.Close()
 				t.Fatalf("cut at %d: record %d = %+v, want %+v", cut, i, r, batch[i])
 			}

@@ -28,6 +28,7 @@ package store
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"time"
 
@@ -74,6 +75,14 @@ const (
 	OpIssue WALOp = "issue"
 	// OpDecide records a reviewer verdict on an issued group.
 	OpDecide WALOp = "decide"
+	// OpWarm records the warm-start context a session was built with:
+	// the library priors offered to the engine, frozen at open time.
+	// It is always the first record of a session's log (absent for
+	// cold sessions). Replay rebuilds the engine from this record, not
+	// from the live library — the library keeps learning after the
+	// session opens, and group generation must replay byte-identically
+	// regardless.
+	OpWarm WALOp = "warm"
 )
 
 // WALRecord is one entry of a session's decision log. Records are
@@ -86,6 +95,9 @@ type WALRecord struct {
 	// Decision is the goldrec.Decision string form ("approve",
 	// "approve-backward", "reject"); empty for issue records.
 	Decision string `json:"decision,omitempty"`
+	// Warm is the serialized warm-start context of an OpWarm record
+	// (the service owns its encoding); empty otherwise.
+	Warm json.RawMessage `json:"warm,omitempty"`
 }
 
 // Store persists datasets and session review logs. Implementations must
@@ -174,6 +186,33 @@ type Store interface {
 	// torn final record is dropped; a missing log replays nothing.
 	ReplayTenantChanges(fn func(data []byte) error) error
 
+	// The per-tenant transformation library persists exactly like the
+	// tenant registry — one opaque snapshot plus an append-only change
+	// log per tenant, with convergent whole-state change records — but
+	// keyed by tenant id ("" is the open-mode library). The library
+	// (internal/library) owns the payload encoding.
+
+	// SaveLibrarySnapshot atomically replaces the tenant's library
+	// snapshot and clears the change log it subsumes (best-effort, as
+	// with SaveTenantSnapshot).
+	SaveLibrarySnapshot(tenantID string, data []byte) error
+	// LoadLibrarySnapshot returns the tenant's latest library snapshot
+	// (ErrNotExist when none was ever saved).
+	LoadLibrarySnapshot(tenantID string) ([]byte, error)
+	// AppendLibraryChange durably appends one change record to the
+	// tenant's library change log.
+	AppendLibraryChange(tenantID string, data []byte) error
+	// ReplayLibraryChanges streams the tenant's library change log in
+	// append order. A torn final record is dropped; a missing log
+	// replays nothing.
+	ReplayLibraryChanges(tenantID string, fn func(data []byte) error) error
+	// ListLibraryTenants returns every tenant id with persisted
+	// library state, sorted; the open-mode library lists as "".
+	ListLibraryTenants() ([]string, error)
+	// DeleteLibrary removes the tenant's entire library. Deleting a
+	// missing library is not an error.
+	DeleteLibrary(tenantID string) error
+
 	// Close releases backend resources (open WAL handles). The store is
 	// unusable afterwards.
 	Close() error
@@ -216,5 +255,12 @@ func (Null) SaveTenantSnapshot([]byte) error              { return nil }
 func (Null) LoadTenantSnapshot() ([]byte, error)          { return nil, ErrNotExist }
 func (Null) AppendTenantChange([]byte) error              { return nil }
 func (Null) ReplayTenantChanges(func([]byte) error) error { return nil }
+
+func (Null) SaveLibrarySnapshot(string, []byte) error              { return nil }
+func (Null) LoadLibrarySnapshot(string) ([]byte, error)            { return nil, ErrNotExist }
+func (Null) AppendLibraryChange(string, []byte) error              { return nil }
+func (Null) ReplayLibraryChanges(string, func([]byte) error) error { return nil }
+func (Null) ListLibraryTenants() ([]string, error)                 { return nil, nil }
+func (Null) DeleteLibrary(string) error                            { return nil }
 
 func (Null) Close() error { return nil }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec/internal/core"
+	"github.com/goldrec/goldrec/internal/dsl"
 	"github.com/goldrec/goldrec/internal/oracle"
 	"github.com/goldrec/goldrec/internal/replace"
 	"github.com/goldrec/goldrec/internal/tgraph"
@@ -57,6 +58,12 @@ type Session struct {
 	decided   int
 	approvals int
 
+	// priorA and priorN seed the approve-rate prior from warm-start
+	// outcome counts: priorA past approvals out of priorN past decisions
+	// on the programs offered to this session (see ApproveRate).
+	priorA int
+	priorN int
+
 	stats SessionStats
 }
 
@@ -70,6 +77,12 @@ type SessionStats struct {
 	GroupsApplied int `json:"groups_applied"`
 	// CellsChanged counts cell updates from applied groups.
 	CellsChanged int `json:"cells_changed"`
+	// WarmGroups counts groups pre-decided at session open from
+	// warm-start priors (included in GroupsSeen and GroupsApplied).
+	WarmGroups int `json:"warm_groups,omitempty"`
+	// WarmCells counts cell updates from warm pre-applied groups
+	// (included in CellsChanged).
+	WarmCells int `json:"warm_cells,omitempty"`
 }
 
 // Replacement is one member of a group, for display and auditing.
@@ -99,12 +112,23 @@ type Group struct {
 	// Pairs lists the member replacements, largest replacement set
 	// first.
 	Pairs []Replacement
+	// Warm marks a group pre-decided at session open from a warm-start
+	// prior: its program was approved on an earlier upload, so it was
+	// applied Forward without a fresh human review.
+	Warm bool
 
 	sess     *Session
+	prog     dsl.Program
 	members  []*replace.Candidate
 	decision Decision
 	applied  ApplyStats
 }
+
+// ProgramKey returns the group's shared program in its canonical
+// serialized form — the identity the goldrecd transformation library
+// accumulates decisions under (empty-program groups key as the empty
+// encoding).
+func (g *Group) ProgramKey() string { return dsl.EncodeProgram(g.prog) }
 
 // Decision is the reviewer's verdict on an issued group.
 type Decision int
@@ -212,10 +236,13 @@ func (g *Group) Gain() float64 {
 
 // ApproveRate is the session's empirical probability that a reviewed
 // group is approved: a Laplace-smoothed ratio of approvals to recorded
-// decisions, so a fresh session starts at the uninformative 0.5 and the
-// prior sharpens as the reviewer's verdicts accumulate.
+// decisions. A cold session starts at the uninformative 0.5; a
+// warm-started one folds the library's past outcomes on the offered
+// programs into the same ratio as pseudo-counts, so the prior opens
+// already sharpened by history and keeps updating as this session's
+// verdicts accumulate.
 func (s *Session) ApproveRate() float64 {
-	return float64(s.approvals+1) / float64(s.decided+2)
+	return float64(s.approvals+s.priorA+1) / float64(s.decided+s.priorN+2)
 }
 
 // record registers a group's first decision: it stamps the group and
@@ -234,7 +261,28 @@ func (s *Session) record(g *Group, d Decision, applied ApplyStats) {
 	}
 }
 
-func newSession(ctx context.Context, cons *Consolidator, col int) *Session {
+// WarmProgram is one warm-start prior: a previously reviewed program in
+// its canonical serialized form (the internal DSL encoding — the keys
+// the goldrecd library API reports), with the outcome counts that seed
+// the session's approve-rate prior.
+type WarmProgram struct {
+	Key        string `json:"key"`
+	Approvals  int    `json:"approvals"`
+	Rejections int    `json:"rejections"`
+}
+
+// WarmStart carries a set of previously approved transformation
+// programs into a new session. Groups of candidate replacements fully
+// explained by a warm program are pre-decided at session open — applied
+// Forward and issued as already-Approved groups with Warm provenance —
+// and the past outcome counts seed ApproveRate's prior. Keys that no
+// longer parse, or that name empty or non-deterministic programs, are
+// skipped.
+type WarmStart struct {
+	Programs []WarmProgram `json:"programs"`
+}
+
+func newSession(ctx context.Context, cons *Consolidator, col int, warm *WarmStart) *Session {
 	s := &Session{cons: cons, col: col}
 	s.store = replace.NewStore(cons.ds, col, replace.Options{
 		TokenLevel:  cons.cfg.tokenCandidates,
@@ -244,6 +292,18 @@ func newSession(ctx context.Context, cons *Consolidator, col int) *Session {
 	reps := make([]core.Rep, 0, len(cands))
 	for _, c := range cands {
 		reps = append(reps, core.Rep{S: c.LHS, T: c.RHS, Ext: c.ID})
+	}
+	var priors []core.WarmPrior
+	if warm != nil {
+		for _, wp := range warm.Programs {
+			p, err := dsl.ParseProgram(wp.Key)
+			if err != nil || len(p) == 0 || !p.Deterministic() {
+				continue
+			}
+			priors = append(priors, core.WarmPrior{Program: p, Approvals: wp.Approvals, Rejections: wp.Rejections})
+			s.priorA += wp.Approvals
+			s.priorN += wp.Approvals + wp.Rejections
+		}
 	}
 	s.eng = core.NewEngineCtx(ctx, reps, core.Options{
 		Graph: tgraph.Options{
@@ -255,8 +315,25 @@ func newSession(ctx context.Context, cons *Consolidator, col int) *Session {
 		MaxPathLen:      cons.cfg.maxPathLen,
 		ConstantScoring: cons.cfg.constantScoring,
 		Parallel:        cons.cfg.parallel,
+		Warm:            priors,
 	})
 	s.stats.Candidates = len(cands)
+	// Pre-decide the groups the warm priors claimed: issue them with the
+	// session's first sequential ids (so replayed human decisions keep
+	// their offsets), apply Forward, and stamp them Approved without
+	// touching the human decision counters — the library's pseudo-counts
+	// already carry this history into ApproveRate.
+	for _, wg := range s.eng.WarmGroups() {
+		g := s.issue(s.publicGroup(wg))
+		g.Warm = true
+		stats := s.applyMembers(g, Forward)
+		g.decision = Approved
+		g.applied = stats
+		s.stats.GroupsApplied++
+		s.stats.CellsChanged += stats.CellsChanged
+		s.stats.WarmGroups++
+		s.stats.WarmCells += stats.CellsChanged
+	}
 	return s
 }
 
@@ -268,6 +345,7 @@ func (s *Session) publicGroup(g *core.Group) *Group {
 		Program:   g.Program.String(),
 		Structure: strings.ReplaceAll(g.Sig, "\x00", " → "),
 		sess:      s,
+		prog:      g.Program,
 	}
 	for _, m := range g.Members {
 		cand := s.store.Candidate(m.Ext)
@@ -424,6 +502,24 @@ type ApplyStats struct {
 // decisions ReviewState reports (the public decision paths — Decide,
 // ApplyReview — refuse re-applies outright).
 func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
+	stats := s.applyMembers(g, dir)
+	if g.decision == Pending {
+		d := Approved
+		if dir == Backward {
+			d = ApprovedBackward
+		}
+		s.record(g, d, stats)
+		s.stats.GroupsApplied++
+		s.stats.CellsChanged += stats.CellsChanged
+	}
+	return stats
+}
+
+// applyMembers performs a group's raw member replacements in the given
+// direction, updating the replacement sets and pruning emptied
+// candidates from the engine. It touches no decision state — Apply and
+// the warm pre-decide path layer their own bookkeeping on top.
+func (s *Session) applyMembers(g *Group, dir Direction) ApplyStats {
 	var stats ApplyStats
 	for _, cand := range g.members {
 		target := cand
@@ -441,15 +537,6 @@ func (s *Session) Apply(g *Group, dir Direction) ApplyStats {
 		if len(res.Emptied) > 0 {
 			s.eng.Remove(res.Emptied...)
 		}
-	}
-	if g.decision == Pending {
-		d := Approved
-		if dir == Backward {
-			d = ApprovedBackward
-		}
-		s.record(g, d, stats)
-		s.stats.GroupsApplied++
-		s.stats.CellsChanged += stats.CellsChanged
 	}
 	return stats
 }
@@ -502,6 +589,9 @@ type GroupState struct {
 	Structure string        `json:"structure"`
 	Pairs     []Replacement `json:"pairs"`
 	Decision  Decision      `json:"decision"`
+	// Warm marks a group pre-decided at session open from a warm-start
+	// prior (see Group.Warm).
+	Warm bool `json:"warm,omitempty"`
 	// Sites is the group's remaining replacement-set size at snapshot
 	// time (see Group.RemainingSites).
 	Sites int `json:"sites"`
@@ -553,6 +643,7 @@ func (s *Session) ReviewState() ReviewState {
 			Structure: g.Structure,
 			Pairs:     append([]Replacement(nil), g.Pairs...),
 			Decision:  g.decision,
+			Warm:      g.Warm,
 			Sites:     sites,
 			Gain:      gain,
 			Applied:   g.applied,

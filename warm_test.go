@@ -1,0 +1,133 @@
+package goldrec
+
+import (
+	"context"
+	"testing"
+)
+
+// approvedWarmStart reviews every group of a fresh paperTable1 Name
+// session with the oracle and collects the approved programs as
+// warm-start priors, deduplicated by canonical key.
+func approvedWarmStart(t *testing.T) *WarmStart {
+	t.Helper()
+	ds, tr := paperTable1()
+	cons, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cons.Column("Name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.RunBudget(0, sess.OracleVerifier(tr, 0))
+	warm := &WarmStart{}
+	seen := map[string]bool{}
+	for id := 0; ; id++ {
+		g, ok := sess.Group(id)
+		if !ok {
+			break
+		}
+		key := g.ProgramKey()
+		if g.Decision() != Approved || seen[key] {
+			continue
+		}
+		seen[key] = true
+		warm.Programs = append(warm.Programs, WarmProgram{Key: key, Approvals: 1})
+	}
+	if len(warm.Programs) == 0 {
+		t.Fatal("oracle approved no groups to warm-start from")
+	}
+	return warm
+}
+
+// TestWarmStartPreDecides replays one upload's approved programs into a
+// second session over the same data: the groups they explain must come
+// pre-decided — issued first, marked Warm, applied Forward — with the
+// approve-rate prior seeded above the cold 0.5.
+func TestWarmStartPreDecides(t *testing.T) {
+	warm := approvedWarmStart(t)
+
+	ds, tr := paperTable1()
+	cons, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cons.ColumnIndexWarmCtx(context.Background(), 0, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sess.Stats()
+	if stats.WarmGroups == 0 {
+		t.Fatal("no groups were pre-decided from warm priors")
+	}
+	if stats.WarmCells == 0 || stats.CellsChanged < stats.WarmCells {
+		t.Fatalf("warm cells %d not reflected in CellsChanged %d", stats.WarmCells, stats.CellsChanged)
+	}
+	if stats.GroupsApplied < stats.WarmGroups || stats.GroupsSeen < stats.WarmGroups {
+		t.Fatalf("warm groups not counted as applied/seen: %+v", stats)
+	}
+	if rate := sess.ApproveRate(); rate <= 0.5 {
+		t.Errorf("ApproveRate = %v, want > 0.5 from seeded approvals", rate)
+	}
+	// Warm groups hold the first sequential ids and are already decided:
+	// a fresh verdict on them must be refused.
+	for id := 0; id < stats.WarmGroups; id++ {
+		g, ok := sess.Group(id)
+		if !ok {
+			t.Fatalf("warm group %d not issued", id)
+		}
+		if !g.Warm || g.Decision() != Approved {
+			t.Errorf("group %d: Warm=%v Decision=%v, want pre-approved warm", id, g.Warm, g.Decision())
+		}
+		if _, err := sess.Decide(id, Rejected); err == nil {
+			t.Errorf("group %d: Decide on a warm pre-decided group should error", id)
+		}
+	}
+	// ReviewState carries the provenance.
+	st := sess.ReviewState()
+	if !st.Groups[0].Warm {
+		t.Error("ReviewState does not mark warm groups")
+	}
+
+	// Finishing the session with the oracle converges to the same
+	// standardized column a cold run produces.
+	sess.RunBudget(0, sess.OracleVerifier(tr, 0))
+	coldDS, coldTr := paperTable1()
+	coldCons, _ := New(coldDS)
+	coldSess, _ := coldCons.Column("Name")
+	coldSess.RunBudget(0, coldSess.OracleVerifier(coldTr, 0))
+	for ci := range ds.Clusters {
+		for ri := range ds.Clusters[ci].Records {
+			got := ds.Clusters[ci].Records[ri].Values[0]
+			want := coldDS.Clusters[ci].Records[ri].Values[0]
+			if got != want {
+				t.Errorf("cluster %d row %d = %q, want %q (cold run)", ci, ri, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmStartSkipsBadKeys: unparseable or empty warm keys must be
+// ignored, leaving a plain cold session.
+func TestWarmStartSkipsBadKeys(t *testing.T) {
+	ds, _ := paperTable1()
+	cons, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &WarmStart{Programs: []WarmProgram{
+		{Key: "garbage", Approvals: 3},
+		{Key: "g1:", Approvals: 3},
+		{Key: "v9:C\"x\"", Approvals: 3},
+	}}
+	sess, err := cons.ColumnIndexWarmCtx(context.Background(), 0, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := sess.Stats(); stats.WarmGroups != 0 {
+		t.Fatalf("bad keys pre-decided %d groups", stats.WarmGroups)
+	}
+	if rate := sess.ApproveRate(); rate != 0.5 {
+		t.Errorf("ApproveRate = %v, want cold 0.5 (skipped keys must not seed)", rate)
+	}
+}
