@@ -49,11 +49,23 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/goldrec/goldrec/internal/events"
 	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/service"
 	"github.com/goldrec/goldrec/internal/store"
 	"github.com/goldrec/goldrec/internal/tenant"
+)
+
+// version and commit identify the build; release builds stamp them via
+//
+//	go build -ldflags "-X main.version=v1.2.3 -X main.commit=$(git rev-parse --short HEAD)"
+//
+// and they surface in the startup log line, the /healthz body and the
+// goldrec_build_info gauge.
+var (
+	version = "dev"
+	commit  = "none"
 )
 
 // errUsage marks errors the FlagSet has already reported to the user;
@@ -96,6 +108,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof, /metrics/prometheus and /debug/traces on this extra listener, bypassing -auth (bind to localhost; empty = off)")
 		traceOn      = fs.Bool("trace", true, "record request-scoped spans into the tail-sampled flight recorder (GET /debug/traces on -debug-addr)")
 		traceSlow    = fs.Duration("trace-slow", 500*time.Millisecond, "requests at or over this duration are retained as slow and logged with a span breakdown")
+		eventsOn     = fs.Bool("events", true, "record the per-tenant audit/event log and serve GET /v1/events (durable with -data-dir)")
+		eventsRet    = fs.Duration("events-retention", 7*24*time.Hour, "drop audit events older than this during event-log compaction (0 = keep forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -141,6 +155,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	case *walWindow > 0 && *dataDir == "":
 		fs.Usage()
 		return fmt.Errorf("%w: -wal-group-window requires -data-dir", errUsage)
+	case *eventsRet < 0:
+		fs.Usage()
+		return fmt.Errorf("%w: -events-retention must be >= 0 (0 = keep forever)", errUsage)
 	}
 
 	var format obs.LogFormat
@@ -209,6 +226,34 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		logger.Info("auth enabled", slog.Int("tenants_recovered", len(tenants.List())))
 	}
 
+	// Build identity: one gauge sample whose labels carry the version
+	// and commit, the standard join key for "which build is this
+	// instance running" dashboards.
+	reg.NewGauge("goldrec_build_info",
+		"Build identity; the value is always 1, the labels carry the version.",
+		"version", "commit").Gauge(version, commit).Set(1)
+
+	var evlog *events.Log
+	if *eventsOn {
+		retention := *eventsRet
+		if retention == 0 {
+			retention = -1 // events.Options: negative disables age compaction.
+		}
+		el, err := events.Open(events.Options{
+			Store:     st,
+			Retention: retention,
+			Metrics:   reg,
+			Logf:      logf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening event log: %w", err)
+		}
+		evlog = el
+		// Closed after svc.Close(): the service may emit during shutdown
+		// (final compactions), and the log's close flushes the tail.
+		defer evlog.Close()
+	}
+
 	svcTTL := *ttl
 	if svcTTL == 0 {
 		svcTTL = -1 // Options treats 0 as "use default"; negative disables.
@@ -226,6 +271,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Metrics:        reg,
 		Logger:         logger,
 		Tracer:         tracer,
+		Events:         evlog,
+		BuildInfo:      service.BuildInfo{Version: version, Commit: commit},
 	})
 	defer svc.Close()
 
@@ -244,12 +291,15 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	logger.Info("listening",
+		slog.String("version", version),
+		slog.String("commit", commit),
 		slog.String("addr", ln.Addr().String()),
 		slog.Duration("ttl", *ttl),
 		slog.Int("max_sessions", *maxSessions),
 		slog.String("data_dir", *dataDir),
 		slog.Int("shards", svc.Shards()),
 		slog.Bool("auth", *auth),
+		slog.Bool("events", *eventsOn),
 	)
 
 	var dsrv *http.Server
@@ -303,6 +353,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
+	// Release held connections first — SSE streams get a "close" event,
+	// long polls answer immediately — so Shutdown's listener drain only
+	// waits on genuinely in-flight work, not 60-second holds.
+	svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

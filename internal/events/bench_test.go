@@ -1,0 +1,51 @@
+package events
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkEventFanout prices one Emit as the live subscriber count
+// grows: delivery is a non-blocking channel send per subscriber under
+// the stream lock, so the cost must scale linearly in subscribers and
+// never block the emitter. Subscribers drain concurrently; a slow one
+// would drop-with-gap rather than slow this loop down.
+func BenchmarkEventFanout(b *testing.B) {
+	for _, subs := range []int{1, 64, 512} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			l, err := Open(Options{MaxSubscribers: subs, SubscriberBuffer: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			open := make([]*Subscriber, subs)
+			for i := range open {
+				sub, err := l.Subscribe("tn_b1")
+				if err != nil {
+					b.Fatal(err)
+				}
+				open[i] = sub
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range sub.C() {
+					}
+				}()
+			}
+			ctx := context.Background()
+			e := Event{Type: TypeDecisionRecorded, Tenant: "tn_b1", Actor: "admin", Data: map[string]any{"group_id": 1}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Emit(ctx, e)
+			}
+			b.StopTimer()
+			for _, sub := range open {
+				sub.Close()
+			}
+			wg.Wait()
+			l.Close()
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package events
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/goldrec/goldrec/internal/store"
+)
+
+// TestCrashReplayByteIdentical kills the process between every single
+// event — reopening the store and the log each time, never calling
+// Close, and periodically leaving a torn half-record at a log's tail —
+// and demands the surviving durable logs be byte-for-byte identical to
+// an uninterrupted run. Runs at 1 and 16 tenants so recovery is
+// provably independent of how the streams are spread across files.
+func TestCrashReplayByteIdentical(t *testing.T) {
+	for _, tenants := range []int{1, 16} {
+		t.Run(fmt.Sprintf("tenants=%d", tenants), func(t *testing.T) {
+			const perTenant = 6
+			total := tenants * perTenant
+			ids := make([]string, tenants)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("tn_%02x", i)
+			}
+			// Fixed clock and fully literal fields: the only thing
+			// allowed to differ between runs is nothing.
+			now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+			mkEvent := func(i int) Event {
+				return Event{
+					Type:      TypeDecisionRecorded,
+					Tenant:    ids[i%tenants],
+					Actor:     "admin",
+					RequestID: fmt.Sprintf("req_%04d", i),
+					Dataset:   "ds_0abc",
+					Session:   "cs_0abc",
+					Data:      map[string]any{"group_id": i},
+				}
+			}
+			open := func(dir string) (*store.FS, *Log) {
+				st, err := store.OpenFS(dir, store.FSOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := Open(Options{Store: st, Now: func() time.Time { return now }})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st, l
+			}
+			ctx := context.Background()
+
+			// Control: one process lifetime, clean close.
+			control := t.TempDir()
+			st, l := open(control)
+			for i := 0; i < total; i++ {
+				l.Emit(ctx, mkEvent(i))
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+
+			// Crashy: one process lifetime PER EVENT. Flush makes the
+			// event durable (the acknowledgement point), then the store
+			// is yanked without closing the log — abandoned flusher and
+			// all — exactly like a kill -9 after the append.
+			crashy := t.TempDir()
+			for i := 0; i < total; i++ {
+				st, l := open(crashy)
+				l.Emit(ctx, mkEvent(i))
+				l.Flush()
+				// Every few crashes, also tear the tail of the log the
+				// NEXT event will append to: recovery must drop the torn
+				// half-record and the next append must repair the file.
+				victim := ids[(i+1)%tenants]
+				if i%3 == 1 && i+1 < total && i+1 >= tenants {
+					path := filepath.Join(crashy, "events", victim, "log.jsonl")
+					f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.WriteString(`{"seq":9999,"type":"decision.`); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+				}
+				st.Close()
+			}
+
+			// A final clean incarnation: recovery must see every event,
+			// contiguously, per tenant.
+			st2, l2 := open(crashy)
+			for ti, id := range ids {
+				evs, err := l2.EventsSince(id, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(evs) != perTenant {
+					t.Fatalf("tenant %s: replayed %d events, want %d", id, len(evs), perTenant)
+				}
+				for j, e := range evs {
+					if e.Seq != uint64(j+1) {
+						t.Fatalf("tenant %s: seq %d at position %d", id, e.Seq, j)
+					}
+					if want := fmt.Sprintf("req_%04d", j*tenants+ti); e.RequestID != want {
+						t.Fatalf("tenant %s: event %d request_id %q, want %q", id, j, e.RequestID, want)
+					}
+				}
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2.Close()
+
+			// And the durable bytes themselves are identical to the
+			// uninterrupted run's.
+			for _, id := range ids {
+				want, err := os.ReadFile(filepath.Join(control, "events", id, "log.jsonl"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(filepath.Join(crashy, "events", id, "log.jsonl"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("tenant %s: crash-run log differs from control\ncontrol:\n%s\ncrashy:\n%s", id, want, got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,457 @@
+package events
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/goldrec/goldrec/internal/obs"
+	"github.com/goldrec/goldrec/internal/store"
+)
+
+func jsonUnmarshal(line []byte, v any) error { return json.Unmarshal(line, v) }
+
+func withTestRequestInfo(ctx context.Context, reqID, traceID string) context.Context {
+	return obs.WithRequest(ctx, obs.RequestInfo{ID: reqID, TraceID: traceID})
+}
+
+func openFS(t *testing.T, dir string) *store.FS {
+	t.Helper()
+	fs, err := store.OpenFS(dir, store.FSOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	return fs
+}
+
+func openLog(t *testing.T, st store.Store, opts Options) *Log {
+	t.Helper()
+	opts.Store = st
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func emitN(t *testing.T, l *Log, tenant string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		l.Emit(context.Background(), Event{
+			Type:    TypeDecisionRecorded,
+			Tenant:  tenant,
+			Session: fmt.Sprintf("s-%d", i),
+		})
+	}
+}
+
+func TestEmitAssignsMonotonicSeqPerTenant(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	for i := 1; i <= 3; i++ {
+		if got := l.Emit(context.Background(), Event{Type: TypeGroupReady, Tenant: "tn_a1"}); got != uint64(i) {
+			t.Fatalf("acme seq = %d, want %d", got, i)
+		}
+	}
+	if got := l.Emit(context.Background(), Event{Type: TypeGroupReady, Tenant: "tn_b2"}); got != 1 {
+		t.Fatalf("zeta seq = %d, want 1 (streams are independent)", got)
+	}
+	if got := l.LastSeq("tn_a1"); got != 3 {
+		t.Fatalf("LastSeq(acme) = %d, want 3", got)
+	}
+}
+
+func TestSubscribeReceivesInOrder(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	sub, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	emitN(t, l, "tn_a1", 5)
+	for i := 1; i <= 5; i++ {
+		e := <-sub.C()
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d: seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Type != TypeDecisionRecorded {
+			t.Fatalf("event %d: type = %q", i, e.Type)
+		}
+	}
+}
+
+func TestForeignTenantSeesNothing(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	sub, err := l.Subscribe("tn_ffff")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	emitN(t, l, "tn_a1", 3)
+	select {
+	case e := <-sub.C():
+		t.Fatalf("foreign subscriber received %+v", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got, err := l.EventsSince("tn_ffff", 0, 0); err != nil || len(got) != 0 {
+		t.Fatalf("EventsSince(other) = %d events, err %v", len(got), err)
+	}
+}
+
+func TestSlowSubscriberGetsGapMarker(t *testing.T) {
+	l := openLog(t, nil, Options{SubscriberBuffer: 2})
+	sub, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	// Buffer 2: events 1-2 land, 3-5 drop while nobody reads.
+	emitN(t, l, "tn_a1", 5)
+	if e := <-sub.C(); e.Seq != 1 {
+		t.Fatalf("first event seq = %d, want 1", e.Seq)
+	}
+	if e := <-sub.C(); e.Seq != 2 {
+		t.Fatalf("second event seq = %d, want 2", e.Seq)
+	}
+	// Next emission must deliver the gap marker before the live event.
+	l.Emit(context.Background(), Event{Type: TypeGroupReady, Tenant: "tn_a1"})
+	gap := <-sub.C()
+	if gap.Type != TypeGap {
+		t.Fatalf("expected gap marker, got %+v", gap)
+	}
+	if from, to := gap.Data["from_seq"].(uint64), gap.Data["to_seq"].(uint64); from != 3 || to != 5 {
+		t.Fatalf("gap range = [%d, %d], want [3, 5]", from, to)
+	}
+	if e := <-sub.C(); e.Seq != 6 || e.Type != TypeGroupReady {
+		t.Fatalf("post-gap event = %+v, want seq 6", e)
+	}
+}
+
+func TestSubscriberLimit(t *testing.T) {
+	l := openLog(t, nil, Options{MaxSubscribers: 2})
+	a, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Subscribe("tn_a1"); !errors.Is(err, ErrSubscriberLimit) {
+		t.Fatalf("third Subscribe err = %v, want ErrSubscriberLimit", err)
+	}
+	// Other tenants have their own slots.
+	c, err := l.Subscribe("tn_b2")
+	if err != nil {
+		t.Fatalf("other tenant Subscribe: %v", err)
+	}
+	c.Close()
+	// Closing frees the slot.
+	b.Close()
+	d, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatalf("Subscribe after Close: %v", err)
+	}
+	d.Close()
+}
+
+func TestEventsSinceFromRing(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	emitN(t, l, "tn_a1", 10)
+	got, err := l.EventsSince("tn_a1", 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 8 || got[2].Seq != 10 {
+		t.Fatalf("EventsSince(7) = %v", seqs(got))
+	}
+	got, err = l.EventsSince("tn_a1", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0].Seq != 1 {
+		t.Fatalf("EventsSince(0, limit 4) = %v", seqs(got))
+	}
+	if got, _ := l.EventsSince("tn_a1", 10, 0); len(got) != 0 {
+		t.Fatalf("EventsSince(tip) = %v, want empty", seqs(got))
+	}
+}
+
+func TestEventsSinceFallsBackToDisk(t *testing.T) {
+	fs := openFS(t, t.TempDir())
+	// Ring of 4: events 1-6 emitted, ring holds 3-6, 1-2 only on disk.
+	l := openLog(t, fs, Options{RingSize: 4})
+	emitN(t, l, "tn_a1", 6)
+	l.Flush()
+	got, err := l.EventsSince("tn_a1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("EventsSince(0) = %v, want 1..6", seqs(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("EventsSince(0) = %v, want 1..6", seqs(got))
+		}
+	}
+	// Events still queued (not yet flushed) must show up too.
+	emitN(t, l, "tn_a1", 2)
+	got, err = l.EventsSince("tn_a1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || got[7].Seq != 8 {
+		t.Fatalf("EventsSince(0) after unflushed emits = %v, want 1..8", seqs(got))
+	}
+}
+
+func TestRestartResumesSeqAndHistory(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	l := openLog(t, fs, Options{})
+	emitN(t, l, "tn_a1", 5)
+	l.Close()
+	fs.Close()
+
+	fs2 := openFS(t, dir)
+	l2 := openLog(t, fs2, Options{})
+	if got := l2.LastSeq("tn_a1"); got != 5 {
+		t.Fatalf("LastSeq after restart = %d, want 5", got)
+	}
+	if got := l2.Emit(context.Background(), Event{Type: TypeExportCreated, Tenant: "tn_a1"}); got != 6 {
+		t.Fatalf("post-restart emit seq = %d, want 6", got)
+	}
+	got, err := l2.EventsSince("tn_a1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("history after restart = %v, want 1..6", seqs(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("history after restart = %v, want 1..6", seqs(got))
+		}
+	}
+	if got[0].Session != "s-0" || got[5].Type != TypeExportCreated {
+		t.Fatalf("replayed payloads corrupted: %+v", got)
+	}
+}
+
+func TestTornTailDroppedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	l := openLog(t, fs, Options{})
+	emitN(t, l, "tn_a1", 3)
+	l.Close()
+	fs.Close()
+
+	path := filepath.Join(dir, "events", "tn_a1", "log.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"type":"decision.rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs2 := openFS(t, dir)
+	l2 := openLog(t, fs2, Options{})
+	if got := l2.LastSeq("tn_a1"); got != 3 {
+		t.Fatalf("LastSeq after torn tail = %d, want 3", got)
+	}
+	got, err := l2.EventsSince("tn_a1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("events after torn tail = %v, want 1..3", seqs(got))
+	}
+}
+
+func TestOpenModeStreamPersists(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	l := openLog(t, fs, Options{})
+	l.Emit(context.Background(), Event{Type: TypeTenantCreated, Data: map[string]any{"tenant_id": "tn_a1"}})
+	l.Close()
+	fs.Close()
+
+	fs2 := openFS(t, dir)
+	l2 := openLog(t, fs2, Options{})
+	if got := l2.LastSeq(""); got != 1 {
+		t.Fatalf("open-mode LastSeq after restart = %d, want 1", got)
+	}
+}
+
+func TestSizeCompaction(t *testing.T) {
+	fs := openFS(t, t.TempDir())
+	pad := strings.Repeat("x", 100)
+	l := openLog(t, fs, Options{MaxLogBytes: 2048, Retention: -1})
+	for i := 0; i < 40; i++ {
+		l.Emit(context.Background(), Event{
+			Type:   TypeDecisionRecorded,
+			Tenant: "tn_a1",
+			Data:   map[string]any{"pad": pad},
+		})
+		l.Flush() // flush per event so compaction triggers mid-run
+	}
+	st := l.stream("tn_a1")
+	st.mu.Lock()
+	size := st.logBytes
+	st.mu.Unlock()
+	if size > 2048 {
+		t.Fatalf("log size %d exceeds cap after compaction", size)
+	}
+	// The retained tail must be a contiguous suffix ending at the tip.
+	var seen []uint64
+	err := fs.ReplayEvents("tn_a1", func(line []byte) error {
+		var e Event
+		if err := jsonUnmarshal(line, &e); err != nil {
+			return err
+		}
+		seen = append(seen, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != 40 {
+		t.Fatalf("compacted log tail = %v, want suffix ending in 40", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[i-1]+1 {
+			t.Fatalf("compacted log not contiguous: %v", seen)
+		}
+	}
+}
+
+func TestAgeCompaction(t *testing.T) {
+	fs := openFS(t, t.TempDir())
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	clock := &now
+	l := openLog(t, fs, Options{
+		Retention: time.Hour,
+		Now:       func() time.Time { return *clock },
+	})
+	emitN(t, l, "tn_a1", 3)
+	l.Flush()
+	// Jump past the retention window; the next flush pass compacts.
+	later := now.Add(2 * time.Hour)
+	clock = &later
+	l.Emit(context.Background(), Event{Type: TypeExportCreated, Tenant: "tn_a1"})
+	l.Flush()
+	var seen []uint64
+	err := fs.ReplayEvents("tn_a1", func(line []byte) error {
+		var e Event
+		if err := jsonUnmarshal(line, &e); err != nil {
+			return err
+		}
+		seen = append(seen, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 4 {
+		t.Fatalf("log after age compaction = %v, want [4]", seen)
+	}
+	// Sequence numbering survives compaction across a restart.
+	l.Close()
+	fs.Close()
+}
+
+func TestDeleteTenantPurges(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	l := openLog(t, fs, Options{})
+	emitN(t, l, "tn_a1", 3)
+	l.Flush()
+	sub, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DeleteTenant("tn_a1"); err != nil {
+		t.Fatalf("DeleteTenant: %v", err)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("subscriber channel still open after DeleteTenant")
+	}
+	if got := l.LastSeq("tn_a1"); got != 0 {
+		t.Fatalf("LastSeq after delete = %d, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events", "tn_a1")); !os.IsNotExist(err) {
+		t.Fatalf("event dir survives delete: %v", err)
+	}
+}
+
+func TestCloseClosesSubscribers(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	sub, err := l.Subscribe("tn_a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("subscriber channel still open after Log.Close")
+	}
+	if got := l.Emit(context.Background(), Event{Type: TypeGroupReady, Tenant: "tn_a1"}); got == 0 {
+		// Emission after Close still assigns (in-memory) but nothing is
+		// flushed; a zero here would also be acceptable. The real
+		// contract is just: no panic, no hang.
+		t.Log("emit after close returned 0")
+	}
+}
+
+func TestNilLogIsInert(t *testing.T) {
+	var l *Log
+	if got := l.Emit(context.Background(), Event{Type: TypeGroupReady}); got != 0 {
+		t.Fatalf("nil Emit = %d", got)
+	}
+	if got := l.LastSeq("x"); got != 0 {
+		t.Fatalf("nil LastSeq = %d", got)
+	}
+	if got, err := l.EventsSince("x", 0, 0); got != nil || err != nil {
+		t.Fatalf("nil EventsSince = %v, %v", got, err)
+	}
+	if _, err := l.Subscribe("x"); err == nil {
+		t.Fatal("nil Subscribe should error")
+	}
+	if err := l.DeleteTenant("x"); err != nil {
+		t.Fatalf("nil DeleteTenant = %v", err)
+	}
+	l.Flush()
+	if err := l.Close(); err != nil {
+		t.Fatalf("nil Close = %v", err)
+	}
+}
+
+func TestEmitFillsRequestAndTraceIDs(t *testing.T) {
+	l := openLog(t, nil, Options{})
+	ctx := withTestRequestInfo(context.Background(), "req-1", "trace-1")
+	l.Emit(ctx, Event{Type: TypeDatasetUploaded, Tenant: "tn_a1"})
+	got, err := l.EventsSince("tn_a1", 0, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("EventsSince = %v, %v", got, err)
+	}
+	if got[0].RequestID != "req-1" || got[0].TraceID != "trace-1" {
+		t.Fatalf("ids not stamped: %+v", got[0])
+	}
+}
+
+func seqs(events []Event) []uint64 {
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		out[i] = e.Seq
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 
+	"github.com/goldrec/goldrec/internal/events"
 	"github.com/goldrec/goldrec/internal/tenant"
 )
 
@@ -23,6 +24,9 @@ type principal struct {
 	// admin marks the bootstrap admin key: unscoped data access plus the
 	// /v1/tenants admin API.
 	admin bool
+	// keyID identifies which of the tenant's API keys authenticated —
+	// the audit log's actor field. "" for admin and open mode.
+	keyID string
 }
 
 type principalCtxKey struct{}
@@ -72,8 +76,8 @@ func (s *Service) authenticate(r *http.Request) (principal, error) {
 			return principal{admin: true}, nil
 		}
 	}
-	if info, ok := s.opts.Tenants.Authenticate(key); ok {
-		return principal{tenant: info.ID}, nil
+	if info, keyID, ok := s.opts.Tenants.AuthenticateKey(key); ok {
+		return principal{tenant: info.ID, keyID: keyID}, nil
 	}
 	return principal{}, fmt.Errorf("%w: invalid API key", ErrUnauthorized)
 }
@@ -146,6 +150,20 @@ func (s *Service) registerTenantAPI(mux *http.ServeMux) {
 			// Retire the tenant's counter series so deleted tenants do not
 			// leak metric cardinality forever.
 			s.metrics.dropTenant(id)
+			// Administrative events land on the unscoped ("") stream: the
+			// tenant whose audit trail they describe no longer exists (or,
+			// for creation, did not yet).
+			s.emitEvent(r.Context(), events.Event{
+				Type: events.TypeTenantDeleted,
+				Data: map[string]any{"tenant_id": id},
+			})
+			if s.events != nil {
+				// The tenant's own audit stream goes with the tenant. A
+				// failed purge only costs disk: recreate/delete converges.
+				if perr := s.events.DeleteTenant(id); perr != nil {
+					s.opts.Logf("tenant %s: purging event log: %v", id, perr)
+				}
+			}
 		}
 		respondNoContent(w, err)
 	}))
@@ -185,6 +203,10 @@ func (s *Service) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opts.Logf("tenant %s: created (%q)", info.ID, info.Name)
+	s.emitEvent(r.Context(), events.Event{
+		Type: events.TypeTenantCreated,
+		Data: map[string]any{"tenant_id": info.ID, "name": info.Name},
+	})
 	writeJSON(w, http.StatusCreated, TenantKeyResponse{Tenant: info, Key: key})
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/events"
 	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/obs/trace"
 	"github.com/goldrec/goldrec/internal/store"
@@ -873,4 +874,108 @@ func BenchmarkWarmStartUpload(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) { run(b, false) })
 	b.Run("warm", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkEventsOverhead prices the audit/event log on the real
+// decide hot path: each timed op is one authenticated-shape HTTP POST
+// that records a fresh decision, which on the "on" leg emits
+// decision.recorded and library.taught into a durably-backed event log
+// and on the "off" leg hits the nil-log no-ops. Fetching the next
+// undecided group (and rebuilding sessions as they exhaust) happens
+// off-timer, so the quotient isolates what emission adds to a decide.
+// The event store runs NoSync like the gated WAL benchmarks — the
+// flusher's sync is off the decide path by construction, and on a
+// small runner a disk-bound background fsync would measure the disk,
+// not the bus. The on leg must stay within 10% of off (CI gates the
+// same-run ratio): emission is a ring push, a fan-out of non-blocking
+// channel sends and a queue append — never a durable write.
+func BenchmarkEventsOverhead(b *testing.B) {
+	run := func(b *testing.B, withEvents bool) {
+		defer raiseProcs(benchProcs)()
+		opts := Options{Prefetch: 4}
+		var el *events.Log
+		if withEvents {
+			fsStore, err := store.OpenFS(b.TempDir(), store.FSOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fsStore.Close()
+			el, err = events.Open(events.Options{Store: fsStore})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer el.Close()
+			opts.Events = el
+		}
+		svc := New(opts)
+		defer svc.Close()
+		h := svc.Handler()
+		builds := 0
+		var sid string
+		openSess := func() {
+			builds++
+			ds, err := svc.CreateDataset(fmt.Sprintf("bench%d", builds), "key", "", strings.NewReader(paperCSV))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := svc.OpenSession(ds.ID, "Name")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sid = sess.ID
+		}
+		next := func() (int, bool) {
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				st, err := svc.ReviewState(sid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, g := range st.Groups {
+					if g.Decision == goldrec.Pending {
+						return g.ID, true
+					}
+				}
+				if st.Exhausted {
+					return 0, false
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			b.Fatal("no reviewable group within deadline")
+			return 0, false
+		}
+		openSess()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Drain the flusher off-timer: on a one-core runner its
+			// background encode+append would otherwise preempt random
+			// timed windows, measuring scheduler luck instead of what
+			// emission itself adds to the handler.
+			if el != nil {
+				el.Flush()
+			}
+			gid, ok := next()
+			if !ok {
+				openSess()
+				if gid, ok = next(); !ok {
+					b.Fatal("fresh session already exhausted")
+				}
+			}
+			// Reject rather than approve: approvals would make the
+			// programs warm-start priors and every rebuilt session would
+			// open with nothing left to review. Rejections still emit
+			// decision.recorded and library.taught on the on leg.
+			body := fmt.Sprintf(`{"group_id":%d,"decision":"reject"}`, gid)
+			req := httptest.NewRequest("POST", "/v1/sessions/"+sid+"/decisions", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			b.StartTimer()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	}
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	b.Run("off", func(b *testing.B) { run(b, false) })
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/events"
 )
 
 // maxWait bounds how long a wait=true group fetch may block, so a
@@ -47,6 +48,11 @@ const maxLongPoll = 60 * time.Second
 //	GET    /v1/datasets/{id}/plan?budget=N
 //	GET    /v1/library
 //	DELETE /v1/library
+//	GET    /v1/events?since=N&limit=N&tenant=T    (SSE with Accept: text/event-stream)
+//
+// The groups endpoints double as push streams: Accept:
+// text/event-stream turns the long poll into an SSE stream of "groups"
+// events (see serveGroupsSSE).
 //
 // Errors share one envelope: {"error", "code", "request_id",
 // "trace_id"} — code is a stable machine-readable slug (see errorCode),
@@ -62,7 +68,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Pure liveness: answers 200 whenever the process serves HTTP,
 		// even before recovery finishes. Readiness is /readyz.
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		body := map[string]string{"status": "ok"}
+		if s.opts.BuildInfo.Version != "" {
+			body["version"] = s.opts.BuildInfo.Version
+		}
+		if s.opts.BuildInfo.Commit != "" {
+			body["commit"] = s.opts.BuildInfo.Commit
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.Ready() {
@@ -114,6 +127,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{id}/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/library", s.handleLibrary)
 	mux.HandleFunc("DELETE /v1/library", s.handleLibrary)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	if s.opts.Tenants != nil {
 		s.registerTenantAPI(mux)
 	}
@@ -220,6 +234,14 @@ func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	if wantsSSE(r) {
+		datasetID, id := "", r.PathValue("id")
+		if sid := r.PathValue("sid"); sid != "" {
+			datasetID, id = id, sid
+		}
+		s.serveGroupsSSE(w, r, principalFrom(r).tenant, datasetID, id, limit)
+		return
+	}
 	var wait <-chan struct{}
 	longPoll := false
 	if v := q.Get("wait"); v != "" {
@@ -231,6 +253,17 @@ func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 		longPoll = lp
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
+		// Graceful shutdown releases held long polls immediately: the
+		// watcher folds the drain signal into the same cancel channel
+		// the timeout uses, so the poll answers (204/200) and the
+		// connection frees for the listener drain.
+		go func() {
+			select {
+			case <-s.drain:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
 		wait = ctx.Done()
 	}
 	var page GroupPage
@@ -346,6 +379,8 @@ func errorCode(err error) (status int, code string) {
 		return http.StatusForbidden, "forbidden"
 	case errors.Is(err, ErrQuota):
 		return http.StatusForbidden, "quota_exceeded"
+	case errors.Is(err, events.ErrSubscriberLimit):
+		return http.StatusTooManyRequests, "subscriber_limit"
 	case errors.As(err, &rateLimited):
 		return http.StatusTooManyRequests, "rate_limited"
 	case errors.As(err, &tooLarge):

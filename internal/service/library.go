@@ -9,6 +9,7 @@ import (
 
 	"github.com/goldrec/goldrec"
 	"github.com/goldrec/goldrec/internal/dsl"
+	"github.com/goldrec/goldrec/internal/events"
 	"github.com/goldrec/goldrec/internal/store"
 )
 
@@ -72,11 +73,12 @@ func (s *Service) libraryInfo(owner string) LibraryInfo {
 // deleteLibrary purges the owner's transformation memory, in memory and
 // on disk. Sessions already opened warm keep their frozen priors (the
 // OpWarm WAL record, not the live library, is their replay base).
-func (s *Service) deleteLibrary(owner string) error {
+func (s *Service) deleteLibrary(ctx context.Context, owner string) error {
 	if err := s.library.Delete(owner); err != nil {
 		return fmt.Errorf("%w: deleting library: %v", ErrStorage, err)
 	}
 	s.opts.Logf("library %q: deleted", owner)
+	s.emitEvent(ctx, events.Event{Type: events.TypeLibraryPurged, Tenant: owner})
 	return nil
 }
 
@@ -156,7 +158,7 @@ func (cs *columnSession) openWarm(ctx context.Context, s *Service) (*goldrec.War
 // the wrong direction. Failures are logged and dropped — the verdict is
 // already durable in the session WAL; the library is advisory. Caller
 // holds cs.mu (sess is live).
-func (s *Service) recordVerdict(cs *columnSession, groupID int, decision goldrec.Decision) {
+func (s *Service) recordVerdict(ctx context.Context, cs *columnSession, groupID int, decision goldrec.Decision) {
 	if decision == goldrec.ApprovedBackward {
 		return
 	}
@@ -170,7 +172,15 @@ func (s *Service) recordVerdict(cs *columnSession, groupID int, decision goldrec
 	}
 	if err := s.library.For(cs.owner).Record(p, decision == goldrec.Approved); err != nil {
 		s.opts.Logf("session %s: recording verdict in library: %v", cs.id, err)
+		return
 	}
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeLibraryTaught,
+		Tenant:  cs.owner,
+		Dataset: cs.datasetID,
+		Session: cs.id,
+		Data:    map[string]any{"program": g.ProgramKey(), "approved": decision == goldrec.Approved},
+	})
 }
 
 // handleLibrary serves GET and DELETE /v1/library.

@@ -28,9 +28,14 @@ type serviceMetrics struct {
 	uploadBytes *obs.Vec
 	rateLimited *obs.Vec
 
-	// HTTP layer.
+	// HTTP layer. Deliberately held requests (wait= long polls, SSE
+	// streams) record on httpStream, not httpLatency: holding a
+	// connection for 60s is those endpoints working as designed, and
+	// mixing the holds into the request histogram would drown real
+	// latency regressions.
 	httpRequests *obs.Vec // counter: route, method, status
 	httpLatency  *obs.Vec // histogram: route
+	httpStream   *obs.Vec // histogram: route
 
 	// Engine phases, observed as per-NextGroup deltas, plus the
 	// session-open→first-group latency.
@@ -52,6 +57,11 @@ type serviceMetrics struct {
 // to multi-second graph builds on large uploads.
 var phaseBuckets = []float64{0.0005, 0.002, 0.008, 0.032, 0.128, 0.512, 2.048, 8.192, 32.768}
 
+// streamBuckets cover held connections: an instant answer (a group was
+// already buffered), a full 25s/60s long-poll hold, and SSE streams
+// that stay up for minutes.
+var streamBuckets = []float64{0.05, 0.25, 1, 5, 15, 30, 60, 120}
+
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	return &serviceMetrics{
 		reg: reg,
@@ -67,6 +77,8 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"HTTP requests by normalized route, method and status.", "route", "method", "status"),
 		httpLatency: reg.NewHistogram("goldrec_http_request_seconds",
 			"HTTP request latency by normalized route.", nil, "route"),
+		httpStream: reg.NewHistogram("goldrec_http_stream_seconds",
+			"Held-connection duration (long polls, SSE streams) by normalized route.", streamBuckets, "route"),
 		enginePhase: reg.NewHistogram("goldrec_engine_phase_seconds",
 			"Engine time per phase, observed as per-group-generation deltas.", phaseBuckets, "phase"),
 		firstGroup: reg.NewHistogram("goldrec_session_first_group_seconds",

@@ -59,6 +59,7 @@ var knownRoutes = map[string]bool{
 	"/v1/sessions/{id}/decisions":               true,
 	"/v1/plan":                                  true,
 	"/v1/library":                               true,
+	"/v1/events":                                true,
 	"/v1/tenants":                               true,
 	"/v1/tenants/{id}":                          true,
 	"/v1/tenants/{id}/keys":                     true,
@@ -193,7 +194,15 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 			root.End()
 		}
 		s.metrics.httpRequests.Counter(route, r.Method, strconv.Itoa(rec.status)).Inc()
-		s.metrics.httpLatency.Histogram(route).ObserveDuration(elapsed)
+		// Deliberately held requests — long polls and SSE streams — go
+		// to their own histogram: a 60s hold is the feature working,
+		// and folding it into goldrec_http_request_seconds would bury
+		// every real latency regression under the route's p99.
+		if r.URL.Query().Get("wait") != "" || wantsSSE(r) {
+			s.metrics.httpStream.Histogram(route).ObserveDuration(elapsed)
+		} else {
+			s.metrics.httpLatency.Histogram(route).ObserveDuration(elapsed)
+		}
 		if s.logger != nil {
 			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("method", r.Method),

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"github.com/goldrec/goldrec"
+	"github.com/goldrec/goldrec/internal/events"
 	"github.com/goldrec/goldrec/internal/library"
 	"github.com/goldrec/goldrec/internal/obs"
 	"github.com/goldrec/goldrec/internal/obs/trace"
@@ -153,8 +154,28 @@ type Options struct {
 	// private listener to browse the recorder.
 	Tracer *trace.Tracer
 
+	// Events is the audit/event log every mutating operation publishes
+	// into, exposed live on GET /v1/events. The service does not own it
+	// (like Store): its owner opens it before New and closes it after
+	// Close. nil = events disabled, every emission a no-op.
+	Events *events.Log
+
+	// BuildInfo identifies the running binary (ldflags-stamped version
+	// and commit); surfaced on /healthz and in the startup log.
+	BuildInfo BuildInfo
+
+	// SSEHeartbeat is how often an idle SSE stream writes a heartbeat
+	// comment so intermediaries keep the connection open (0 = 15s).
+	SSEHeartbeat time.Duration
+
 	// clock substitutes time in tests (nil = wall clock).
 	clock Clock
+}
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	Version string `json:"version,omitempty"`
+	Commit  string `json:"commit,omitempty"`
 }
 
 // Service owns the dataset and session registries.
@@ -167,6 +188,7 @@ type Service struct {
 	metrics  *serviceMetrics
 	logger   *slog.Logger
 	tracer   *trace.Tracer
+	events   *events.Log
 
 	// library is the per-tenant durable transformation memory: every
 	// acknowledged verdict is recorded into the owning tenant's library,
@@ -184,6 +206,13 @@ type Service struct {
 
 	mu     sync.Mutex // guards closed and the session-count check-and-add
 	closed bool
+
+	// drain closes when graceful shutdown begins (BeginDrain): every
+	// open SSE stream sends a close event and returns, and long-polling
+	// group fetches cancel their waits, so the HTTP server's Shutdown
+	// deadline is spent on real work, not parked connections.
+	drain     chan struct{}
+	drainOnce sync.Once
 
 	// admitMu serializes one tenant's resource admissions (dataset and
 	// session creates) so a quota check-and-register is atomic per
@@ -247,6 +276,8 @@ func New(opts Options) *Service {
 		metrics:   newServiceMetrics(reg),
 		logger:    opts.Logger,
 		tracer:    opts.Tracer,
+		events:    opts.Events,
+		drain:     make(chan struct{}),
 		library:   lib,
 		restoreMu: make([]sync.Mutex, opts.Shards),
 		admitMu:   make(map[string]*sync.Mutex),
@@ -283,9 +314,22 @@ func (s *Service) MarkReady() { s.ready.Store(true) }
 // Ready reports whether MarkReady has been called.
 func (s *Service) Ready() bool { return s.ready.Load() }
 
+// BeginDrain starts graceful shutdown of the streaming endpoints:
+// every open SSE stream writes a close event and returns, long-polling
+// group fetches wake and answer immediately. Idempotent; Close calls
+// it too. The daemon calls it right before http.Server.Shutdown so the
+// drain deadline is not spent waiting out parked streams.
+func (s *Service) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return chanClosed(s.drain) }
+
 // Close stops the janitor and every session generator. In-flight HTTP
 // requests against removed sessions fail with ErrNotFound.
 func (s *Service) Close() {
+	s.BeginDrain()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -444,8 +488,12 @@ type columnSession struct {
 	// passivated or pre-restart session) before producing new groups.
 	resume bool
 
-	mu        sync.Mutex
-	cond      *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// rev counts state changes a groups reader could observe (pending,
+	// status). SSE group streams hold the last rev they rendered and
+	// wait for it to move — bumpLocked is the only writer.
+	rev       uint64
 	sess      *goldrec.Session // nil until candidate generation finishes
 	pending   []*goldrec.Group // issued, undecided, oldest first
 	exhausted bool
@@ -522,6 +570,16 @@ func (s *Service) createDataset(ctx context.Context, owner, name, keyCol, srcCol
 	}
 	s.opts.Logf("dataset %s: %q ingested (%d clusters, %d records)",
 		d.id, name, len(ds.Clusters), ds.NumRecords())
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeDatasetUploaded,
+		Tenant:  owner,
+		Dataset: d.id,
+		Data: map[string]any{
+			"name":     ds.Name,
+			"clusters": len(ds.Clusters),
+			"records":  ds.NumRecords(),
+		},
+	})
 	return s.datasetInfo(d), nil
 }
 
@@ -782,7 +840,26 @@ func (s *Service) openSession(ctx context.Context, owner, datasetID, column stri
 		return SessionInfo{}, fmt.Errorf("%w: persisting session: %v", ErrStorage, err)
 	}
 
-	go cs.run(trace.Detach(ctx), s)
+	// Detach keeps only the trace span; re-attach the request info and
+	// principal so group.ready events the generator emits carry the
+	// opening request's id, trace, and actor.
+	runCtx := trace.Detach(ctx)
+	if info, ok := obs.RequestFrom(ctx); ok {
+		runCtx = obs.WithRequest(runCtx, info)
+	}
+	if p, ok := ctx.Value(principalCtxKey{}).(principal); ok {
+		runCtx = context.WithValue(runCtx, principalCtxKey{}, p)
+	}
+	// Emit before the generator starts so session.opened always
+	// precedes the session's first group.ready in the event sequence.
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeSessionOpened,
+		Tenant:  cs.owner,
+		Dataset: datasetID,
+		Session: cs.id,
+		Data:    map[string]any{"column": column},
+	})
+	go cs.run(runCtx, s)
 	s.opts.Logf("session %s: opened on dataset %s column %q", cs.id, datasetID, column)
 	return cs.info(), nil
 }
@@ -837,7 +914,7 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 		// open time. Mark the stream done so waiters return.
 		cs.mu.Lock()
 		cs.exhausted = true
-		cs.cond.Broadcast()
+		cs.bumpLocked()
 		cs.mu.Unlock()
 		return
 	}
@@ -866,7 +943,7 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 	}
 	cs.sess = sess
 	cs.pending = restored
-	cs.cond.Broadcast()
+	cs.bumpLocked()
 	// Phase accounting: the engine accumulates per-phase nanoseconds;
 	// the service observes the deltas each NextGroup produced. The first
 	// observation also carries context prep (and replay work on resume).
@@ -895,9 +972,9 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 		lastTimings = now
 		if !ok {
 			cs.exhausted = true
-			cs.cond.Broadcast()
+			cs.bumpLocked()
 			logf("session %s: group stream exhausted after %d group(s)", cs.id, sess.Stats().GroupsSeen)
-			s.maybeCompactLocked(cs)
+			s.maybeCompactLocked(ctx, cs)
 			return
 		}
 		// Log the issue before exposing the group. A crash in between
@@ -911,7 +988,7 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 			// replay base), and a restart resumes from the WAL. The
 			// stalled flag unblocks long-polling group fetches.
 			cs.stalled = true
-			cs.cond.Broadcast()
+			cs.bumpLocked()
 			logf("session %s: WAL append failed, group generation stalled: %v", cs.id, err)
 			return
 		}
@@ -920,7 +997,19 @@ func (cs *columnSession) run(ctx context.Context, s *Service) {
 			firstGroupSeen = true
 			s.metrics.firstGroup.ObserveSince(openedAt)
 		}
-		cs.cond.Broadcast()
+		// group.ready feeds the same wakers as the long-poll path:
+		// an SSE events subscriber learns a group is reviewable at the
+		// moment the long-poll predicate would have released. Restored
+		// groups are not re-announced (their event fired in the life
+		// that issued them).
+		s.emitEvent(ctx, events.Event{
+			Type:    events.TypeGroupReady,
+			Tenant:  cs.owner,
+			Dataset: cs.datasetID,
+			Session: cs.id,
+			Data:    map[string]any{"group_id": g.ID, "pending": len(cs.pending)},
+		})
+		cs.bumpLocked()
 	}
 }
 
@@ -1091,7 +1180,7 @@ func (s *Service) ownedLiveSessions(owner string) int {
 // but not before its applied decisions are folded into the dataset
 // snapshot, so standardization work done through a deleted session
 // still survives a restart.
-func (s *Service) deleteSession(owner, id string) error {
+func (s *Service) deleteSession(ctx context.Context, owner, id string) error {
 	cs, err := s.lookupSession(owner, id)
 	if errors.Is(err, ErrNotFound) {
 		// Not live and not restorable (the dataset is live but this
@@ -1130,13 +1219,13 @@ func (s *Service) deleteSession(owner, id string) error {
 	// Close first (under mu) so no decision can slip in after the fold
 	// below and be lost when the WAL is deleted.
 	cs.closed = true
-	cs.cond.Broadcast()
+	cs.bumpLocked()
 	if cs.sess != nil && !cs.compacted && cs.sess.Stats().GroupsApplied > 0 {
-		if err := s.compactLocked(cs); err != nil {
+		if err := s.compactLocked(ctx, cs); err != nil {
 			// Without the fold, deleting the WAL would discard applied
 			// work. Abort the delete; the session stays usable.
 			cs.closed = false
-			cs.cond.Broadcast()
+			cs.bumpLocked()
 			cs.mu.Unlock()
 			return fmt.Errorf("%w: folding session %s before delete: %v", ErrStorage, id, err)
 		}
@@ -1162,7 +1251,7 @@ func (s *Service) closeSession(cs *columnSession) {
 	cs.d.mu.Unlock()
 	cs.mu.Lock()
 	cs.closed = true
-	cs.cond.Broadcast()
+	cs.bumpLocked()
 	cs.mu.Unlock()
 	s.store.CloseWAL(cs.datasetID, cs.id)
 }
@@ -1249,6 +1338,12 @@ func (s *Service) pendingGroups(owner, id string, limit int, wait <-chan struct{
 	if cs.closed {
 		return GroupPage{}, fmt.Errorf("session %s: %w", id, ErrNotFound)
 	}
+	return cs.pageLocked(limit), nil
+}
+
+// pageLocked renders the current undecided-group page. Caller holds
+// cs.mu.
+func (cs *columnSession) pageLocked(limit int) GroupPage {
 	page := GroupPage{Status: cs.statusLocked(), Pending: len(cs.pending)}
 	n := len(cs.pending)
 	if limit > 0 && limit < n {
@@ -1272,7 +1367,38 @@ func (s *Service) pendingGroups(owner, id string, limit int, wait <-chan struct{
 			Gain:      float64(sites) * page.ApproveRate,
 		})
 	}
-	return page, nil
+	return page
+}
+
+// waitGroupsPage blocks until the session's observable state moves past
+// afterRev (or wait closes), then renders a page at the new rev. Pass
+// afterRev = ^uint64(0) for an immediate first page. The SSE groups
+// stream is its only caller: each round sends one page, remembers the
+// rev it rendered, and asks again.
+func (s *Service) waitGroupsPage(owner, id string, limit int, afterRev uint64, wait <-chan struct{}) (GroupPage, uint64, error) {
+	cs, err := s.lookupSession(owner, id)
+	if err != nil {
+		return GroupPage{}, 0, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for cs.rev == afterRev && !cs.closed && !chanClosed(wait) {
+		cs.waitOrCancel(wait)
+	}
+	if cs.closed {
+		return GroupPage{}, 0, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	return cs.pageLocked(limit), cs.rev, nil
+}
+
+// bumpLocked marks an observable state change (pending buffer, status)
+// and wakes every waiter. Caller holds cs.mu. Pure wake-ups that change
+// nothing (waitOrCancel's cancel watcher) call cond.Broadcast directly
+// and must NOT bump rev, or idle SSE streams would re-send unchanged
+// pages.
+func (cs *columnSession) bumpLocked() {
+	cs.rev++
+	cs.cond.Broadcast()
 }
 
 // waitOrCancel waits on cond but also wakes when cancel closes. The
@@ -1386,7 +1512,7 @@ func (s *Service) decide(ctx context.Context, owner, id string, groupID int, dec
 	}
 	// A freed buffer slot lets the generator pull the next group while
 	// the reviewer reads the response.
-	cs.cond.Broadcast()
+	cs.bumpLocked()
 	res := DecisionResult{
 		GroupID:  groupID,
 		Decision: decision,
@@ -1397,11 +1523,18 @@ func (s *Service) decide(ctx context.Context, owner, id string, groupID int, dec
 	// (the tenant whose review budget is being spent), so an admin
 	// reviewing on a tenant's behalf still shows up on that tenant.
 	s.metrics.bumpDecisions(cs.owner)
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeDecisionRecorded,
+		Tenant:  cs.owner,
+		Dataset: cs.datasetID,
+		Session: cs.id,
+		Data:    map[string]any{"group_id": groupID, "decision": decision.String()},
+	})
 	// The verdict also teaches the owner's transformation library, so
 	// the tenant's next upload can pre-decide groups this program
 	// explains. Attributed to the owner for the same reason as above.
-	s.recordVerdict(cs, groupID, decision)
-	s.maybeCompactLocked(cs)
+	s.recordVerdict(ctx, cs, groupID, decision)
+	s.maybeCompactLocked(ctx, cs)
 	return res, nil
 }
 
@@ -1519,7 +1652,7 @@ func (s *Service) decideBatch(ctx context.Context, owner, datasetID, id string, 
 	cs.pending = kept
 	// Freed buffer slots let the generator pull more groups, and
 	// long-polling group fetches re-check their predicate.
-	cs.cond.Broadcast()
+	cs.bumpLocked()
 	res := BatchDecisionsResult{
 		Results:     results,
 		Status:      cs.statusLocked(),
@@ -1531,12 +1664,28 @@ func (s *Service) decideBatch(ctx context.Context, owner, datasetID, id string, 
 		res.RemainingGain += float64(g.RemainingSites()) * res.ApproveRate
 	}
 	s.metrics.bumpDecisionsN(cs.owner, len(reqs))
+	for i, req := range reqs {
+		s.emitEvent(ctx, events.Event{
+			Type:    events.TypeDecisionRecorded,
+			Tenant:  cs.owner,
+			Dataset: cs.datasetID,
+			Session: cs.id,
+			Data:    map[string]any{"group_id": req.GroupID, "decision": decisions[i].String()},
+		})
+	}
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeBatchApplied,
+		Tenant:  cs.owner,
+		Dataset: cs.datasetID,
+		Session: cs.id,
+		Data:    map[string]any{"decisions": len(reqs)},
+	})
 	// Teach the owner's transformation library every verdict in the
 	// batch, exactly as the single-decision path does.
 	for i, req := range reqs {
-		s.recordVerdict(cs, req.GroupID, decisions[i])
+		s.recordVerdict(ctx, cs, req.GroupID, decisions[i])
 	}
-	s.maybeCompactLocked(cs)
+	s.maybeCompactLocked(ctx, cs)
 	return res, nil
 }
 
@@ -1553,19 +1702,19 @@ func (s *Service) pendingGroupsInDataset(owner, datasetID, id string, limit int,
 // issued group decided) into the dataset snapshot. Compaction failure
 // only costs disk space: the WAL stays and recovery replays it. Caller
 // holds cs.mu.
-func (s *Service) maybeCompactLocked(cs *columnSession) {
+func (s *Service) maybeCompactLocked(ctx context.Context, cs *columnSession) {
 	if cs.compacted || cs.archived != nil || cs.sess == nil ||
 		!cs.exhausted || len(cs.pending) != 0 || cs.sess.Stats().GroupsSeen == 0 {
 		return
 	}
-	if err := s.compactLocked(cs); err != nil {
+	if err := s.compactLocked(ctx, cs); err != nil {
 		s.opts.Logf("session %s: compaction failed (WAL retained): %v", cs.id, err)
 	}
 }
 
 // compactLocked archives the session's ReviewState and folds its
 // column into a new snapshot version. Caller holds cs.mu.
-func (s *Service) compactLocked(cs *columnSession) error {
+func (s *Service) compactLocked(ctx context.Context, cs *columnSession) error {
 	state, err := json.Marshal(cs.sess.ReviewState())
 	if err != nil {
 		return err
@@ -1579,6 +1728,13 @@ func (s *Service) compactLocked(cs *columnSession) error {
 	cs.compacted = true
 	s.opts.Logf("session %s: compacted (%d decision(s) folded into dataset %s snapshot)",
 		cs.id, cs.sess.Stats().GroupsSeen, cs.datasetID)
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeSessionCompacted,
+		Tenant:  cs.owner,
+		Dataset: cs.datasetID,
+		Session: cs.id,
+		Data:    map[string]any{"decisions": cs.sess.Stats().GroupsSeen},
+	})
 	return nil
 }
 
@@ -1606,7 +1762,7 @@ func (s *Service) reviewState(owner, id string) (goldrec.ReviewState, error) {
 // discovery over the standardized dataset (Algorithm 1 line 10);
 // standardized exports dump the current cell values. Both hold the
 // dataset's write lock so no session applies mid-read.
-func (s *Service) export(owner, datasetID string, golden bool) (ExportData, error) {
+func (s *Service) export(ctx context.Context, owner, datasetID string, golden bool) (ExportData, error) {
 	d, err := s.lookupDataset(owner, datasetID)
 	if err != nil {
 		return ExportData{}, err
@@ -1622,16 +1778,22 @@ func (s *Service) export(owner, datasetID string, golden bool) (ExportData, erro
 				Values: append([]string(nil), rec.Values...),
 			})
 		}
-		return out, nil
-	}
-	for ci := range ds.Clusters {
-		for _, rec := range ds.Clusters[ci].Records {
-			out.Records = append(out.Records, ExportRecord{
-				Key:    ds.Clusters[ci].Key,
-				Values: append([]string(nil), rec.Values...),
-			})
+	} else {
+		for ci := range ds.Clusters {
+			for _, rec := range ds.Clusters[ci].Records {
+				out.Records = append(out.Records, ExportRecord{
+					Key:    ds.Clusters[ci].Key,
+					Values: append([]string(nil), rec.Values...),
+				})
+			}
 		}
 	}
+	s.emitEvent(ctx, events.Event{
+		Type:    events.TypeExportCreated,
+		Tenant:  d.owner,
+		Dataset: datasetID,
+		Data:    map[string]any{"golden": golden, "records": len(out.Records)},
+	})
 	return out, nil
 }
 

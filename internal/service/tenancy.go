@@ -89,7 +89,7 @@ func (sc Scope) GetSession(id string) (SessionInfo, error) {
 
 func (sc Scope) ListSessions() []SessionInfo { return sc.svc.listSessions(sc.owner) }
 
-func (sc Scope) DeleteSession(id string) error { return sc.svc.deleteSession(sc.owner, id) }
+func (sc Scope) DeleteSession(id string) error { return sc.svc.deleteSession(sc.ctx, sc.owner, id) }
 
 func (sc Scope) PendingGroups(id string, limit int, wait <-chan struct{}) (GroupPage, error) {
 	return sc.svc.pendingGroups(sc.owner, id, limit, wait)
@@ -112,7 +112,7 @@ func (sc Scope) ReviewState(id string) (goldrec.ReviewState, error) {
 }
 
 func (sc Scope) Export(datasetID string, golden bool) (ExportData, error) {
-	return sc.svc.export(sc.owner, datasetID, golden)
+	return sc.svc.export(sc.ctx, sc.owner, datasetID, golden)
 }
 
 func (sc Scope) Plan(budget int) (BudgetPlan, error) { return sc.svc.plan(sc.owner, budget) }
@@ -129,7 +129,7 @@ func (sc Scope) Library() LibraryInfo { return sc.svc.libraryInfo(sc.owner) }
 
 // DeleteLibrary purges the scope's transformation memory: future
 // uploads open cold until new decisions accumulate.
-func (sc Scope) DeleteLibrary() error { return sc.svc.deleteLibrary(sc.owner) }
+func (sc Scope) DeleteLibrary() error { return sc.svc.deleteLibrary(sc.ctx, sc.owner) }
 
 // The *Service methods below are the unscoped view under the
 // pre-tenancy names, so library users and tests keep working untouched.

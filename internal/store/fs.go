@@ -94,6 +94,16 @@ type FS struct {
 	// library appends land on every reviewer decision, so tenants must
 	// not contend with each other the way they would under one lock.
 	libMu map[string]*sync.Mutex
+	// evMu serializes event-log appends/compactions per tenant, for the
+	// same reason as libMu.
+	evMu map[string]*sync.Mutex
+	// evFiles caches open event-log handles per tenant, like wals for
+	// session WALs: the events flusher appends for the life of the
+	// process, and an open/repair/close cycle per batch would cost more
+	// than the append itself. Rewrites and deletes invalidate the
+	// cached handle (the rename leaves it pointing at an unlinked
+	// inode).
+	evFiles map[string]*os.File
 	// dsMu serializes snapshot read-modify-write cycles per dataset:
 	// without it, two sessions compacting concurrently would both write
 	// the same next snapshot version and one session's fold would be
@@ -989,5 +999,12 @@ func (s *FS) Close() error {
 		delete(s.wals, key)
 	}
 	s.wals = nil
+	for key, f := range s.evFiles {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.evFiles, key)
+	}
+	s.evFiles = nil
 	return first
 }

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The per-tenant audit/event log persists as one append-only JSONL file
+// per tenant (events/<tenant>/log.jsonl; the open-mode log lives under
+// events/_open). It is snapshot-free: the log IS the state, replayed in
+// append order with the same torn-tail tolerance as the session WAL,
+// and bounded by retention compaction (RewriteEvents) instead of
+// snapshotting. The events package (internal/events) owns the record
+// encoding; the store only makes lines durable.
+
+// eventTenantDir maps a tenant id to its event-log directory name,
+// validating real ids against the registry pattern so they stay safe as
+// path components ("" = the open-mode log, which shares the library's
+// underscore convention: idPattern rejects a leading underscore, so the
+// name cannot collide with a real tenant).
+func eventTenantDir(tenantID string) (string, error) {
+	if tenantID == "" {
+		return openLibraryDir, nil
+	}
+	if err := checkID(tenantID); err != nil {
+		return "", err
+	}
+	return tenantID, nil
+}
+
+// eventDir returns the tenant's event-log directory, creating it when
+// create is set.
+func (s *FS) eventDir(tenantID string, create bool) (string, error) {
+	sub, err := eventTenantDir(tenantID)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(s.root, "events", sub)
+	if create {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", fmt.Errorf("store: event dir: %w", err)
+		}
+	}
+	return dir, nil
+}
+
+// eventLock returns the tenant's event-log writer mutex.
+func (s *FS) eventLock(tenantID string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evMu == nil {
+		s.evMu = make(map[string]*sync.Mutex)
+	}
+	if m, ok := s.evMu[tenantID]; ok {
+		return m
+	}
+	m := &sync.Mutex{}
+	s.evMu[tenantID] = m
+	return m
+}
+
+// eventFile returns the cached append handle for the tenant's event
+// log, opening it on first use — the walFile pattern. A torn tail left
+// by an earlier crash is truncated before the handle opens, so within
+// one handle's lifetime every append lands on a clean prefix of
+// complete records. Caller holds the tenant's event lock.
+func (s *FS) eventFile(tenantID string) (*os.File, error) {
+	s.mu.Lock()
+	if s.wals == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: closed")
+	}
+	if f, ok := s.evFiles[tenantID]; ok {
+		s.mu.Unlock()
+		return f, nil
+	}
+	s.mu.Unlock()
+
+	// Open outside s.mu (repair may read the whole file); the tenant
+	// event lock already serializes openers for this id.
+	dir, err := s.eventDir(tenantID, true)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "log.jsonl")
+	if err := repairEventTail(path); err != nil {
+		return nil, fmt.Errorf("store: event log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: event log: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wals == nil {
+		f.Close()
+		return nil, fmt.Errorf("store: closed")
+	}
+	if s.evFiles == nil {
+		s.evFiles = make(map[string]*os.File)
+	}
+	s.evFiles[tenantID] = f
+	return f, nil
+}
+
+// closeEventFile drops the tenant's cached event-log handle, if any.
+// Caller holds the tenant's event lock.
+func (s *FS) closeEventFile(tenantID string) {
+	s.mu.Lock()
+	f, ok := s.evFiles[tenantID]
+	if ok {
+		delete(s.evFiles, tenantID)
+	}
+	s.mu.Unlock()
+	if ok {
+		f.Close()
+	}
+}
+
+// AppendEvents durably appends lines to the tenant's event log as one
+// vectored write and (at most) one fsync — the events package batches
+// appends on a background flusher, so the fsync amortizes over the
+// batch the same way the WAL group committer's does. The handle is
+// cached across batches; a torn tail left by an earlier crash is
+// truncated when it first opens.
+func (s *FS) AppendEvents(tenantID string, lines [][]byte) error {
+	if len(lines) == 0 {
+		return nil
+	}
+	lock := s.eventLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	f, err := s.eventFile(tenantID)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for _, line := range lines {
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		// The handle may be poisoned (disk error, external truncation);
+		// reopening on the next batch is cheaper than wedging the log.
+		s.closeEventFile(tenantID)
+		return fmt.Errorf("store: event append: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: event sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayEvents streams the tenant's event log in append order, dropping
+// a torn final record exactly like ReplayWAL. A missing log replays
+// nothing.
+func (s *FS) ReplayEvents(tenantID string, fn func(line []byte) error) error {
+	dir, err := s.eventDir(tenantID, false)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "log.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: event log: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			if i == len(lines)-1 {
+				// Torn final record from a crash mid-append: the event it
+				// held was never on stable storage whole, so dropping it
+				// keeps the log a clean prefix of what was emitted.
+				return nil
+			}
+			return fmt.Errorf("store: event record %d: corrupt", i+1)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RewriteEvents atomically replaces the tenant's event log with the
+// given lines — retention compaction. It returns the new log size in
+// bytes so the caller can keep its size-cap accounting exact without a
+// follow-up stat.
+func (s *FS) RewriteEvents(tenantID string, lines [][]byte) (int64, error) {
+	lock := s.eventLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	// The atomic rename strands any cached append handle on the old
+	// unlinked inode; drop it so the next append reopens the new file.
+	s.closeEventFile(tenantID)
+	dir, err := s.eventDir(tenantID, true)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	for _, line := range lines {
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := s.writeFileAtomic(filepath.Join(dir, "log.jsonl"), buf.Bytes()); err != nil {
+		return 0, fmt.Errorf("store: event compaction: %w", err)
+	}
+	return int64(buf.Len()), nil
+}
+
+// ListEventTenants returns every tenant id with a persisted event log,
+// sorted (the open-mode log lists as "").
+func (s *FS) ListEventTenants() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "events"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		switch name := e.Name(); {
+		case name == openLibraryDir:
+			out = append(out, "")
+		case checkID(name) == nil:
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteEvents removes the tenant's entire event log. Deleting a
+// missing log is not an error.
+func (s *FS) DeleteEvents(tenantID string) error {
+	lock := s.eventLock(tenantID)
+	lock.Lock()
+	defer lock.Unlock()
+	s.closeEventFile(tenantID)
+	dir, err := s.eventDir(tenantID, false)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}
+
+// repairEventTail truncates a torn final record like repairWALTail,
+// but detects the overwhelmingly common clean case — the file ends in
+// a newline — with a single one-byte read at the tail. The event log
+// is appended to on every flusher pass for the life of the process;
+// re-reading the whole file per append would turn each batch into an
+// O(log size) operation. The full read-and-truncate pass only runs on
+// the torn tail an earlier crash left, at most once per file.
+func repairEventTail(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], st.Size()-1); err != nil {
+		return err
+	}
+	if b[0] == '\n' {
+		return nil
+	}
+	return repairWALTail(path)
+}

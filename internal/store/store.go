@@ -213,6 +213,29 @@ type Store interface {
 	// missing library is not an error.
 	DeleteLibrary(tenantID string) error
 
+	// The per-tenant audit/event log is a snapshot-free append-only
+	// JSONL change log ("" = the open-mode log): the log is the state,
+	// bounded by RewriteEvents-based retention compaction instead of
+	// snapshotting. The events package (internal/events) owns the
+	// record encoding; lines are opaque to the store.
+
+	// AppendEvents durably appends lines to the tenant's event log, in
+	// order, as one write and (at most) one fsync. A torn tail from an
+	// earlier crash is repaired (truncated) first.
+	AppendEvents(tenantID string, lines [][]byte) error
+	// ReplayEvents streams the tenant's event log in append order. A
+	// torn final record is dropped; a missing log replays nothing.
+	ReplayEvents(tenantID string, fn func(line []byte) error) error
+	// RewriteEvents atomically replaces the tenant's event log with
+	// lines (retention compaction), returning the new size in bytes.
+	RewriteEvents(tenantID string, lines [][]byte) (int64, error)
+	// ListEventTenants returns every tenant id with a persisted event
+	// log, sorted; the open-mode log lists as "".
+	ListEventTenants() ([]string, error)
+	// DeleteEvents removes the tenant's entire event log. Deleting a
+	// missing log is not an error.
+	DeleteEvents(tenantID string) error
+
 	// Close releases backend resources (open WAL handles). The store is
 	// unusable afterwards.
 	Close() error
@@ -262,5 +285,11 @@ func (Null) AppendLibraryChange(string, []byte) error              { return nil 
 func (Null) ReplayLibraryChanges(string, func([]byte) error) error { return nil }
 func (Null) ListLibraryTenants() ([]string, error)                 { return nil, nil }
 func (Null) DeleteLibrary(string) error                            { return nil }
+
+func (Null) AppendEvents(string, [][]byte) error           { return nil }
+func (Null) ReplayEvents(string, func([]byte) error) error { return nil }
+func (Null) RewriteEvents(string, [][]byte) (int64, error) { return 0, nil }
+func (Null) ListEventTenants() ([]string, error)           { return nil, nil }
+func (Null) DeleteEvents(string) error                     { return nil }
 
 func (Null) Close() error { return nil }

@@ -435,17 +435,26 @@ func (r *Registry) SetQuotas(id string, q Quotas) (Info, error) {
 // are constant-time; the scan visits every key of every tenant, which
 // is fine at admin-managed registry sizes.
 func (r *Registry) Authenticate(key string) (Info, bool) {
+	info, _, ok := r.AuthenticateKey(key)
+	return info, ok
+}
+
+// AuthenticateKey is Authenticate plus the short id of the matched key
+// (the same id ListKeys reports), so callers can attribute actions to
+// a specific credential — the audit log's actor field — without ever
+// holding the key itself.
+func (r *Registry) AuthenticateKey(key string) (Info, string, bool) {
 	digest := []byte(hashKey(key))
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, t := range r.tenants {
 		for _, h := range t.rec.KeyHashes {
 			if subtle.ConstantTimeCompare(digest, []byte(h)) == 1 {
-				return t.rec.info(), true
+				return t.rec.info(), keyIDFromHash(h), true
 			}
 		}
 	}
-	return Info{}, false
+	return Info{}, "", false
 }
 
 // AllowDecision spends one token from the tenant's decision bucket.
